@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``test_fig*`` benchmark regenerates one table/figure of the paper's
+evaluation (see DESIGN.md §3) at the downscaled machine sizes documented in
+EXPERIMENTS.md, prints the series, and asserts the paper's qualitative
+claims (who wins, where). Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table so it lands in the pytest output."""
+    sys.stdout.write("\n" + text + "\n")
+    sys.stdout.flush()
+
+
+def run_once(benchmark, fn):
+    """Run the sweep exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

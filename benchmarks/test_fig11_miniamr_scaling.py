@@ -1,0 +1,62 @@
+"""Figure 11: miniAMR strong scaling (total and NR series).
+
+Paper: 20 variables, 1–256 Marenostrum4 nodes; TAGASPI best scalability
+(1.41x over both baselines at 256 nodes; NR efficiencies 0.84 / 0.73 /
+0.58). Scaled to 1–16 nodes with a proportionally smaller mesh
+(EXPERIMENTS.md E3).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.apps.miniamr import AMRParams, build_mesh_schedule, run_miniamr
+from repro.harness import JobSpec, MARENOSTRUM4, format_series, parallel_efficiency
+
+NODES = [1, 2, 4, 8, 16]
+VARIANTS = ["mpi", "tampi", "tagaspi"]
+PARAMS = AMRParams(nx=4, ny=4, nz=4, max_level=2, cell_dim=8, variables=20,
+                   timesteps=8, refine_every=4, stages=2, compute_data=False)
+
+
+def _sweep():
+    results = {v: [] for v in VARIANTS}
+    scheds = {}
+    for n in NODES:
+        for v in VARIANTS:
+            spec = JobSpec(machine=MARENOSTRUM4, n_nodes=n, variant=v,
+                           ranks_per_node=2 if v != "mpi" else 8,
+                           poll_period_us=50)
+            if spec.n_ranks not in scheds:
+                scheds[spec.n_ranks] = build_mesh_schedule(PARAMS, spec.n_ranks)
+            results[v].append(
+                run_miniamr(spec, PARAMS, schedule=scheds[spec.n_ranks]))
+    return results
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_miniamr_strong_scaling(benchmark):
+    results = run_once(benchmark, _sweep)
+
+    thr = {v: {r.n_nodes: r.throughput for r in results[v]} for v in VARIANTS}
+    thr_nr = {f"{v} (NR)": {r.n_nodes: r.throughput_nr for r in results[v]}
+              for v in VARIANTS}
+    emit(format_series("Fig. 11 (upper): miniAMR throughput (GUpdates/s)",
+                       "nodes", {**thr, **thr_nr}, NODES))
+    eff = {v: parallel_efficiency(results[v]) for v in VARIANTS}
+    emit(format_series("Fig. 11 (lower): miniAMR parallel efficiency (total)",
+                       "nodes", eff, NODES))
+
+    last = NODES[-1]
+    r_tag = thr["tagaspi"][last]
+    emit(f"at {last} nodes: TAGASPI/MPI-only = {r_tag/thr['mpi'][last]:.3f}, "
+         f"TAGASPI/TAMPI = {r_tag/thr['tampi'][last]:.3f} "
+         f"(paper at 256 nodes: 1.41 / 1.41)")
+
+    # paper claims: TAGASPI best scalability and efficiency at the top end
+    assert r_tag >= thr["mpi"][last]
+    assert r_tag >= thr["tampi"][last]
+    assert eff["tagaspi"][last] >= eff["tampi"][last]
+    # NR is strictly better than total everywhere (refinement costs time)
+    for v in VARIANTS:
+        for r in results[v]:
+            assert r.throughput_nr >= r.throughput

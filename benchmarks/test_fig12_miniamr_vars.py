@@ -1,0 +1,62 @@
+"""Figure 12: miniAMR throughput vs number of computed variables.
+
+Paper: 128 Marenostrum4 nodes, 10–40 variables. Hybrids poor at 10
+variables (task granularity too small), TAGASPI best at every count with
+the largest gap at 20 variables (1.46x over MPI-only, 1.40x over TAMPI);
+MPI-only nearly flat. Scaled to 16 nodes (EXPERIMENTS.md E4).
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.apps.miniamr import AMRParams, build_mesh_schedule, run_miniamr
+from repro.harness import JobSpec, MARENOSTRUM4, format_series
+
+N_NODES = 16
+VARIABLES = [10, 20, 30, 40]
+VARIANTS = ["mpi", "tampi", "tagaspi"]
+BASE = AMRParams(nx=4, ny=4, nz=4, max_level=2, cell_dim=8, variables=20,
+                 timesteps=8, refine_every=4, stages=2, compute_data=False)
+
+
+def _sweep():
+    out = {v: {} for v in VARIANTS}
+    out_nr = {v: {} for v in VARIANTS}
+    scheds = {}
+    for nv in VARIABLES:
+        params = dataclasses.replace(BASE, variables=nv)
+        for v in VARIANTS:
+            spec = JobSpec(machine=MARENOSTRUM4, n_nodes=N_NODES, variant=v,
+                           ranks_per_node=2 if v != "mpi" else 8,
+                           poll_period_us=50)
+            if spec.n_ranks not in scheds:
+                scheds[spec.n_ranks] = build_mesh_schedule(params, spec.n_ranks)
+            res = run_miniamr(spec, params, schedule=scheds[spec.n_ranks])
+            out[v][nv] = res.throughput
+            out_nr[v][nv] = res.throughput_nr
+    return out, out_nr
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_miniamr_variables_sweep(benchmark):
+    thr, thr_nr = run_once(benchmark, _sweep)
+    series = {**thr, **{f"{v} (NR)": thr_nr[v] for v in VARIANTS}}
+    emit(format_series(
+        f"Fig. 12: miniAMR throughput (GUpdates/s) vs variables, {N_NODES} nodes",
+        "variables", series, VARIABLES))
+    emit(f"at 20 variables (NR): TAGASPI/MPI-only = "
+         f"{thr_nr['tagaspi'][20]/thr_nr['mpi'][20]:.3f}, TAGASPI/TAMPI = "
+         f"{thr_nr['tagaspi'][20]/thr_nr['tampi'][20]:.3f} "
+         f"(paper: 1.46 / 1.40)")
+
+    # paper claims: TAGASPI best at >= 20 variables; hybrids weakest at 10
+    # (task-granularity overheads); TAMPI improves with more variables
+    for nv in (20, 30, 40):
+        assert thr["tagaspi"][nv] >= thr["tampi"][nv]
+        assert thr["tagaspi"][nv] >= thr["mpi"][nv]
+    hybrid_ratio_10 = thr["tagaspi"][10] / thr["mpi"][10]
+    hybrid_ratio_20 = thr["tagaspi"][20] / thr["mpi"][20]
+    assert hybrid_ratio_20 > hybrid_ratio_10
+    assert thr["tampi"][40] / thr["tampi"][10] > 1.0

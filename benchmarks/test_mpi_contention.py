@@ -1,0 +1,52 @@
+"""E7 (§VI-C text): total time inside MPI explodes at small block sizes.
+
+The paper measured that the TAMPI Streaming variant's aggregate time
+inside the MPI library at block size 2048 is up to 27x the time at 8192,
+almost all of it waiting on the lock shared between Isend/Irecv (the
+tasks) and Test/Testsome (the poller). Our scaled pipeline shows the same
+blowup one block-size notch lower (EXPERIMENTS.md E7).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.apps.streaming import StreamingParams
+from repro.apps.streaming.runner import run_streaming
+from repro.harness import JobSpec, MARENOSTRUM4, format_table
+from repro.tasking import RuntimeConfig
+
+SMALL_BS = 512
+BIG_BS = 8192
+
+
+def _run(bs):
+    params = StreamingParams(chunks=12, elements_per_chunk=131072,
+                             block_size=bs, compute_data=False)
+    spec = JobSpec(machine=MARENOSTRUM4, n_nodes=8, variant="tampi",
+                   poll_period_us=15,
+                   runtime_config=RuntimeConfig(n_cores=8,
+                                                create_overhead=0.5e-6,
+                                                dispatch_overhead=0.2e-6))
+    return run_streaming(spec, params)
+
+
+def _sweep():
+    return _run(SMALL_BS), _run(BIG_BS)
+
+
+@pytest.mark.benchmark(group="contention")
+def test_time_in_mpi_blowup_at_small_blocks(benchmark):
+    small, big = run_once(benchmark, _sweep)
+    ratio = small.extra["time_in_mpi"] / big.extra["time_in_mpi"]
+    wait_frac_small = small.extra["wait_in_mpi"] / small.extra["time_in_mpi"]
+    emit(format_table(
+        "E7: TAMPI Streaming, aggregate time inside MPI",
+        ["blocksize", "time_in_mpi (ms)", "wait share"],
+        [[SMALL_BS, small.extra["time_in_mpi"] * 1e3, wait_frac_small],
+         [BIG_BS, big.extra["time_in_mpi"] * 1e3,
+          big.extra["wait_in_mpi"] / big.extra["time_in_mpi"]]]))
+    emit(f"time-in-MPI ratio small/big = {ratio:.1f}x "
+         f"(paper: up to 27x between 2048 and 8192)")
+
+    assert ratio > 4.0, "contention blowup must be clearly superlinear"
+    assert wait_frac_small > 0.5, "the blowup must be dominated by lock wait"

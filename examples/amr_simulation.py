@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""miniAMR: adaptive mesh refinement with dynamic communication.
+
+Runs the full miniAMR proxy — moving objects refine the mesh, blocks are
+load-balanced across ranks, and every refinement epoch is followed by the
+TAGASPI agreement phase — and prints the mesh evolution plus a variant
+comparison. Verifies the TAGASPI run against the sequential reference.
+
+    python examples/amr_simulation.py
+"""
+
+import numpy as np
+
+from repro.apps.miniamr import (
+    AMRParams,
+    build_mesh_schedule,
+    reference_evolution,
+    run_miniamr,
+)
+from repro.harness import JobSpec, MARENOSTRUM4
+
+
+def main():
+    params = AMRParams(nx=3, ny=3, nz=3, max_level=2, timesteps=6,
+                       refine_every=3, variables=8, stages=2, n_objects=2)
+    spec = JobSpec(machine=MARENOSTRUM4.with_cores(4), n_nodes=2,
+                   variant="tagaspi", ranks_per_node=2, poll_period_us=50)
+    sched = build_mesh_schedule(params, spec.n_ranks)
+
+    print("mesh schedule:")
+    for e, mesh in enumerate(sched.meshes):
+        levels = {}
+        for (L, *_ijk) in mesh.order:
+            levels[L] = levels.get(L, 0) + 1
+        moved = len(sched.moves[e - 1]) if e > 0 else 0
+        print(f"  epoch {e}: {mesh.n_blocks} blocks {dict(sorted(levels.items()))}, "
+              f"{len(mesh.pairs)} face pairs, {moved} blocks migrated")
+
+    print("\nrunning variants (2 nodes):")
+    for variant in ("mpi", "tampi", "tagaspi"):
+        vspec = JobSpec(machine=MARENOSTRUM4.with_cores(4), n_nodes=2,
+                        variant=variant,
+                        ranks_per_node=2 if variant != "mpi" else 4,
+                        poll_period_us=50)
+        vsched = build_mesh_schedule(params, vspec.n_ranks)
+        res = run_miniamr(vspec, params, schedule=vsched, collect_values=True)
+        ref = reference_evolution(vsched)
+        exact = all(np.array_equal(res.extra["values"][b], ref[b]) for b in ref)
+        print(f"  {variant:>8s}: {res.throughput:7.3f} GUpd/s "
+              f"(NR {res.throughput_nr:7.3f}), refinement "
+              f"{res.extra['refine_time']*1e3:.2f} ms, exact={exact}")
+        assert exact
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — Task-Aware one-sided communication (TAGASPI), in simulation.
+
+Reproduction of Sala, Macià, Beltran, *Combining One-Sided Communications
+with Task-Based Programming Models*, IEEE CLUSTER 2021
+(DOI 10.1109/Cluster48925.2021.00024).
+
+Public entry points:
+
+* :class:`repro.core.TAGASPI` — the paper's contribution: task-aware
+  one-sided GASPI operations (§IV).
+* :class:`repro.tampi.TAMPI` — the two-sided task-aware baseline (§II-C).
+* :class:`repro.tasking.Runtime` — the OmpSs-2-style tasking runtime with
+  external events, onready, and polling services (§II-C, §V).
+* :class:`repro.mpi.MPIContext` / :class:`repro.gaspi.GaspiContext` — the
+  simulated communication substrates.
+* :mod:`repro.harness` — machines, job specs, and experiment runners; the
+  application runners live in :mod:`repro.apps`.
+
+See README.md for the architecture and DESIGN.md for the reproduction
+strategy.
+"""
+
+from repro.core import TAGASPI
+from repro.gaspi import GaspiContext
+from repro.harness import CTE_AMD, MARENOSTRUM4, Job, JobSpec, build_job
+from repro.mpi import MPIContext
+from repro.network import Cluster, INFINIBAND, OMNIPATH
+from repro.sim import Engine
+from repro.tampi import TAMPI
+from repro.tasking import In, InOut, Out, Runtime, RuntimeConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TAGASPI",
+    "TAMPI",
+    "Runtime",
+    "RuntimeConfig",
+    "In",
+    "Out",
+    "InOut",
+    "MPIContext",
+    "GaspiContext",
+    "Cluster",
+    "Engine",
+    "JobSpec",
+    "Job",
+    "build_job",
+    "MARENOSTRUM4",
+    "CTE_AMD",
+    "OMNIPATH",
+    "INFINIBAND",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""The paper's three evaluation applications, each in MPI-only, TAMPI, and
+TAGASPI variants (paper §VI):
+
+* :mod:`repro.apps.gauss_seidel` — iterative Gauss–Seidel heat-equation
+  solver on a block-decomposed 2-D grid (§VI-A, Figs. 9–10);
+* :mod:`repro.apps.miniamr` — adaptive-mesh-refinement proxy app with
+  dynamic, irregular communication (§VI-B, Figs. 11–12);
+* :mod:`repro.apps.streaming` — communication-intensive pipeline across
+  nodes (§VI-C, Fig. 13).
+"""

@@ -1,0 +1,14 @@
+"""Gauss–Seidel heat-equation benchmark (paper §VI-A).
+
+A 2-D grid is distributed across ranks as contiguous row bands; each rank
+logically divides its band into blocks. Per timestep, ranks exchange
+boundary rows with their upper/lower neighbours; the in-place update order
+creates a wavefront pipeline across ranks and timesteps.
+
+Run through :func:`repro.apps.gauss_seidel.runner.run_gauss_seidel`.
+"""
+
+from repro.apps.gauss_seidel.common import GSParams, gs_sweep_block, gs_reference
+from repro.apps.gauss_seidel.runner import run_gauss_seidel
+
+__all__ = ["GSParams", "gs_sweep_block", "gs_reference", "run_gauss_seidel"]

@@ -1,0 +1,134 @@
+"""Shared pieces of the Gauss–Seidel benchmark: parameters, the exact
+in-place update kernel, domain partitioning, and the sequential reference.
+
+The kernel implements the classic in-place 5-point Gauss–Seidel sweep::
+
+    A[i][j] = 0.25 * (A[i-1][j] + A[i][j-1] + A[i+1][j] + A[i][j+1])
+
+where ``i-1``/``j-1`` are values already updated in this sweep and
+``i+1``/``j+1`` are values from the previous sweep. Because the update
+order is fixed (row-major, wavefront across blocks), the distributed
+blocked execution performs *bit-identical* arithmetic to a sequential
+whole-grid sweep — which the integration tests assert exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class GSParams:
+    """Benchmark parameters.
+
+    ``block_size`` is the paper's granularity knob: for the hybrid variants
+    blocks are ``block_size`` × ``block_size``; for MPI-only each rank owns
+    a single row of blocks and ``block_size`` is the *columns* per block
+    (§VI-A).
+    """
+
+    rows: int
+    cols: int
+    timesteps: int
+    block_size: int
+    #: run the real numpy kernel (tests/examples) or only the cost model
+    #: (large benchmark sweeps)
+    compute_data: bool = True
+    #: value of the fixed top-boundary row (heat source)
+    top_boundary: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1 or self.timesteps < 1:
+            raise ValueError("rows, cols, timesteps must be positive")
+        if self.cols % self.block_size != 0:
+            raise ValueError(
+                f"block_size {self.block_size} must divide cols {self.cols}"
+            )
+
+    @property
+    def total_updates(self) -> float:
+        return float(self.rows) * self.cols * self.timesteps
+
+    def gupdates(self, seconds: float) -> float:
+        """Figure of merit (GUpdates/s), paper §VI-A."""
+        return self.total_updates / seconds / 1e9
+
+
+def partition_rows(rows: int, n_ranks: int) -> List[Tuple[int, int]]:
+    """Contiguous row ranges [start, stop) per rank, remainder spread over
+    the first ranks."""
+    if n_ranks > rows:
+        raise ValueError(f"cannot split {rows} rows over {n_ranks} ranks")
+    base, extra = divmod(rows, n_ranks)
+    out, start = [], 0
+    for r in range(n_ranks):
+        n = base + (1 if r < extra else 0)
+        out.append((start, start + n))
+        start += n
+    return out
+
+
+def initial_grid(params: GSParams, seed: int = 7) -> np.ndarray:
+    """Deterministic pseudo-random initial interior (so every cell's value
+    is sensitive to correct halo exchange)."""
+    rng = np.random.default_rng(seed)
+    return rng.random((params.rows, params.cols))
+
+
+def _recurrence(c: np.ndarray, left_val: float) -> np.ndarray:
+    """Solve x[j] = c[j] + 0.25 * x[j-1] with x[-1] = left_val.
+
+    Plain sequential loop so the arithmetic per element is identical
+    regardless of how a row is segmented into blocks."""
+    x = np.empty_like(c)
+    prev = left_val
+    for j in range(c.size):
+        prev = c[j] + 0.25 * prev
+        x[j] = prev
+    return x
+
+
+def gs_sweep_block(
+    A: np.ndarray,
+    top: np.ndarray,
+    bottom: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+) -> None:
+    """In-place Gauss–Seidel sweep of block ``A`` (m × n).
+
+    ``top``: the row just above (length n, already updated this sweep).
+    ``bottom``: the row just below (length n, previous-sweep values).
+    ``left``: column to the left (length m, already updated).
+    ``right``: column to the right (length m, previous-sweep values).
+    """
+    m, n = A.shape
+    old = np.array(A, copy=True)
+    prev_row = top
+    for i in range(m):
+        below = old[i + 1] if i + 1 < m else bottom
+        rhs = 0.25 * prev_row + 0.25 * below
+        rhs[:-1] = rhs[:-1] + 0.25 * old[i, 1:]
+        rhs[-1] = rhs[-1] + 0.25 * right[i]
+        A[i, :] = _recurrence(rhs, left[i])
+        prev_row = A[i]
+
+
+def gs_reference(params: GSParams, grid: np.ndarray) -> np.ndarray:
+    """Sequential whole-grid reference solution (same op order as the
+    distributed blocked variants)."""
+    A = np.array(grid, copy=True)
+    top = np.full(params.cols, params.top_boundary)
+    bottom = np.zeros(params.cols)
+    side = np.zeros(params.rows)
+    for _ in range(params.timesteps):
+        gs_sweep_block(A, top, bottom, side, side)
+    return A
+
+
+def block_compute_cost(machine, m: int, n: int) -> float:
+    """Cost-model time of sweeping an m × n block on one core."""
+    return machine.kernel_time("gs_update", m * n)

@@ -1,0 +1,92 @@
+"""Entry point: run one Gauss–Seidel experimental point."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.gauss_seidel.common import GSParams
+from repro.apps.gauss_seidel.storage import RankStorage
+from repro.apps.gauss_seidel.variants import (
+    make_storages,
+    mpi_only_main,
+    tagaspi_main,
+    tampi_main,
+)
+from repro.harness.metrics import VariantResult
+from repro.harness.runner import JobSpec, build_job
+
+_MAINS = {
+    "mpi": mpi_only_main,
+    "tampi": tampi_main,
+    "tagaspi": tagaspi_main,
+}
+
+
+def run_gauss_seidel(spec: JobSpec, params: GSParams,
+                     collect_grid: bool = False):
+    """Run the Gauss–Seidel benchmark for ``spec.variant``.
+
+    Returns a :class:`VariantResult`; with ``collect_grid=True`` (data mode
+    only) the result's ``extra['grid']`` holds the assembled global grid
+    for comparison against :func:`gs_reference`.
+    """
+    job = build_job(spec)
+    storages = make_storages(job, params)
+    main = _MAINS[spec.variant]
+    procs = [main(job, params, st) for st in storages]
+    sim_time = job.run(procs)
+
+    result = VariantResult(
+        variant=spec.variant,
+        n_nodes=spec.n_nodes,
+        throughput=params.gupdates(sim_time),
+        sim_time=sim_time,
+        extra={
+            "messages": float(job.cluster.stats.messages),
+            "bytes": float(job.cluster.stats.bytes),
+        },
+    )
+    if job.mpi is not None:
+        result.extra["time_in_mpi"] = job.mpi.total_time_in_mpi()
+        result.extra["wait_in_mpi"] = job.mpi.total_wait_in_mpi()
+    if collect_grid:
+        if not params.compute_data:
+            raise ValueError("collect_grid requires compute_data=True")
+        result.extra["grid"] = _assemble(storages, params)
+    return result
+
+
+def run_gauss_seidel_steady(spec: JobSpec, params: GSParams,
+                            warm_steps: int) -> VariantResult:
+    """Steady-state throughput: run ``warm_steps`` and the full
+    ``params.timesteps`` separately and difference the times, excluding the
+    wavefront pipeline-fill transient (the paper's long runs — 500–1000
+    timesteps — amortize it; our scaled runs cannot, so we measure the
+    steady regime directly)."""
+    if not 0 < warm_steps < params.timesteps:
+        raise ValueError("need 0 < warm_steps < timesteps")
+    import dataclasses
+
+    warm = dataclasses.replace(params, timesteps=warm_steps)
+    res_warm = run_gauss_seidel(spec, warm)
+    res_full = run_gauss_seidel(spec, params)
+    dt = res_full.sim_time - res_warm.sim_time
+    steps = params.timesteps - warm_steps
+    updates = float(params.rows) * params.cols * steps
+    out = VariantResult(
+        variant=spec.variant,
+        n_nodes=spec.n_nodes,
+        throughput=updates / dt / 1e9,
+        sim_time=dt,
+        extra=dict(res_full.extra),
+    )
+    return out
+
+
+def _assemble(storages: List[RankStorage], params: GSParams) -> np.ndarray:
+    grid = np.empty((params.rows, params.cols))
+    for st in storages:
+        grid[st.r0 : st.r1] = st.local
+    return grid

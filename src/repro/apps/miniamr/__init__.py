@@ -1,0 +1,28 @@
+"""miniAMR proxy application (paper §VI-B, Figs. 11–12).
+
+Mimics the communication, refinement, and load-balancing behaviour of
+adaptive-mesh-refinement codes: moving objects refine the 3-D block mesh
+around their surfaces; blocks are repartitioned (Morton order) after each
+refinement epoch; between epochs, timesteps exchange per-face messages and
+compute per block × variable.
+
+The TAGASPI variant implements the paper's §VI-B design: a sequential
+*agreement phase* after every refinement/load-balance epoch in which each
+pair of neighbouring processes agrees on the remote offset and
+notification id of every RMA message, ack notifications for the iterative
+producer-consumer pattern via the ``onready`` clause, and TAMPI-based
+two-sided tasks for the data migration (load-balancing) phase —
+demonstrating that both task-aware libraries compose in one application.
+"""
+
+from repro.apps.miniamr.mesh import AMRParams, Mesh, build_mesh_schedule
+from repro.apps.miniamr.reference import reference_evolution
+from repro.apps.miniamr.runner import run_miniamr
+
+__all__ = [
+    "AMRParams",
+    "Mesh",
+    "build_mesh_schedule",
+    "reference_evolution",
+    "run_miniamr",
+]

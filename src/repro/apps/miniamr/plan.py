@@ -1,0 +1,128 @@
+"""Per-epoch, per-rank communication plans.
+
+After every refinement/load-balancing epoch the mesh, the partition, and
+therefore every rank's set of cross-rank face pairs change. An
+:class:`EpochPlan` captures one rank's view for one epoch:
+
+* its local blocks and their slot indices in the value arrays,
+* its outgoing pairs (with the *receiver-chosen* remote offset and
+  notification id — the result of the paper's §VI-B agreement phase),
+* its incoming pairs (with the sender-chosen ack notification id),
+* for every local block, the ordered face-value sources (local slots or
+  incoming-pair slots) that reproduce the reference gather order exactly.
+
+The agreement itself is performed with global knowledge (the simulation
+holds all ranks in one process); its *cost* is charged to each rank's
+serial phase, and a barrier separates it from the stages — matching the
+paper's "sequential phase just after the refinement and load-balancing
+stages where each pair of neighboring processes agree on the unique
+remote offset and notification identifier of each RMA message".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.miniamr.mesh import BlockKey, Mesh
+
+
+@dataclass
+class OutPair:
+    gidx: int  #: index into mesh.pairs
+    src: BlockKey
+    dst_rank: int
+    src_slot: int  #: local value-array slot of the source block
+    remote_slot: int  #: receiver's incoming-pair slot (offset & notif id)
+    ack_id: int  #: my ack-notification id (receiver acks to this)
+
+
+@dataclass
+class InPair:
+    gidx: int
+    src: BlockKey
+    dst: BlockKey
+    src_rank: int
+    slot: int  #: my incoming-pair slot (recv offset & notif id)
+    sender_ack_id: int  #: the ack id to notify on the sender's ack segment
+
+
+@dataclass
+class FaceSource:
+    """One face value consumed by a block's stage update."""
+
+    #: "local" (another block on this rank) or "remote" (an incoming pair)
+    kind: str
+    #: local value slot or incoming-pair slot, per ``kind``
+    slot: int
+
+
+@dataclass
+class EpochPlan:
+    rank: int
+    epoch: int
+    blocks: List[BlockKey]
+    slot_of: Dict[BlockKey, int]
+    out_pairs: List[OutPair]
+    in_pairs: List[InPair]
+    #: per local block: ordered face sources (reference gather order)
+    sources: Dict[BlockKey, List[FaceSource]] = field(default_factory=dict)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+
+def build_epoch_plans(mesh: Mesh, n_ranks: int, epoch: int) -> List[EpochPlan]:
+    """Build every rank's plan for one epoch (the agreement phase's
+    outcome)."""
+    plans = []
+    for r in range(n_ranks):
+        blocks = mesh.local_blocks(r)
+        plans.append(EpochPlan(
+            rank=r, epoch=epoch, blocks=blocks,
+            slot_of={b: i for i, b in enumerate(blocks)},
+            out_pairs=[], in_pairs=[],
+        ))
+    # first pass: receivers number their incoming pairs (slot = offset =
+    # notification id) and senders number their outgoing pairs (ack id)
+    in_slot: Dict[int, int] = {}
+    out_slot: Dict[int, int] = {}
+    for gidx, (src, dst, _face) in enumerate(mesh.pairs):
+        so, do = mesh.owner[src], mesh.owner[dst]
+        if so == do:
+            continue
+        in_slot[gidx] = len(plans[do].in_pairs)
+        out_slot[gidx] = len(plans[so].out_pairs)
+        plans[do].in_pairs.append(InPair(
+            gidx=gidx, src=src, dst=dst, src_rank=so,
+            slot=in_slot[gidx], sender_ack_id=out_slot[gidx],
+        ))
+        plans[so].out_pairs.append(OutPair(
+            gidx=gidx, src=src, dst_rank=do,
+            src_slot=plans[so].slot_of[src],
+            remote_slot=in_slot[gidx], ack_id=out_slot[gidx],
+        ))
+    # second pass: per-block gather order (global pair order, like the
+    # sequential reference)
+    for gidx, (src, dst, _face) in enumerate(mesh.pairs):
+        do = mesh.owner[dst]
+        plan = plans[do]
+        lst = plan.sources.setdefault(dst, [])
+        if mesh.owner[src] == do:
+            lst.append(FaceSource("local", plan.slot_of[src]))
+        else:
+            lst.append(FaceSource("remote", in_slot[gidx]))
+    return plans
+
+
+def initial_values_array(mesh: Mesh, plan: EpochPlan, variables: int) -> np.ndarray:
+    """Initial per-block values, laid out in the plan's slot order."""
+    from repro.apps.miniamr.reference import initial_value
+
+    arr = np.zeros((max(plan.n_blocks, 1), variables))
+    for b in plan.blocks:
+        arr[plan.slot_of[b]] = initial_value(mesh, b, variables)
+    return arr

@@ -1,0 +1,66 @@
+"""Sequential reference evolution of the miniAMR block values.
+
+Block data is one scalar per variable per block (the full 16³-cell arrays
+exist only in the cost model — DESIGN.md §1). The stage update mixes a
+block with the mean of its face-neighbour values::
+
+    new[B] = 0.5 * old[B] + 0.5 * mean(old[N] for incoming faces, pair order)
+
+Face values are gathered in the mesh's deterministic pair order, so the
+distributed variants (which receive exactly those values over the network)
+produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.apps.miniamr.mesh import BlockKey, Mesh, MeshSchedule, source_of
+
+
+def initial_value(mesh: Mesh, b: BlockKey, variables: int) -> np.ndarray:
+    idx = mesh.index[b]
+    v = np.arange(variables, dtype=np.float64)
+    return ((idx * 31 + v * 7) % 97) / 97.0
+
+
+def stage_update(old: Dict[BlockKey, np.ndarray], mesh: Mesh) -> Dict[BlockKey, np.ndarray]:
+    """One stage over the whole mesh (reference semantics)."""
+    incoming: Dict[BlockKey, List[np.ndarray]] = {b: [] for b in mesh.order}
+    for (src, dst, _face) in mesh.pairs:
+        incoming[dst].append(old[src])
+    new = {}
+    for b in mesh.order:
+        faces = incoming[b]
+        if faces:
+            acc = faces[0].copy()
+            for fv in faces[1:]:
+                acc += fv
+            new[b] = 0.5 * old[b] + 0.5 * (acc / len(faces))
+        else:
+            new[b] = old[b].copy()
+    return new
+
+
+def remesh_values(old: Dict[BlockKey, np.ndarray], prev: Mesh, cur: Mesh) -> Dict:
+    """Carry values across a refinement epoch: each new block inherits its
+    source block's values."""
+    return {b: old[source_of(prev, b)].copy() for b in cur.order}
+
+
+def reference_evolution(schedule: MeshSchedule) -> Dict[BlockKey, np.ndarray]:
+    """Run the whole schedule sequentially; returns final block values."""
+    params = schedule.params
+    mesh = schedule.meshes[0]
+    vals = {b: initial_value(mesh, b, params.variables) for b in mesh.order}
+    for step in range(params.timesteps):
+        epoch = schedule.epoch_of_step(step)
+        if step > 0 and step % params.refine_every == 0:
+            prev = schedule.meshes[epoch - 1]
+            mesh = schedule.meshes[epoch]
+            vals = remesh_values(vals, prev, mesh)
+        for _stage in range(params.stages):
+            vals = stage_update(vals, mesh)
+    return vals

@@ -1,0 +1,14 @@
+"""Streaming pipeline benchmark (paper §VI-C, Fig. 13).
+
+Inspired by the Pipelined Stencil of Belli & Hoefler: data chunks flow
+through a pipeline of nodes, each node applying its own function to every
+element. Blocks of a chunk are independent, so a node processes them in
+parallel; the send/receive buffers hold exactly one chunk, creating the
+iterative producer–consumer pattern (§IV-B) that the TAGASPI variant
+handles with ack notifications and the ``onready`` clause.
+"""
+
+from repro.apps.streaming.common import StreamingParams
+from repro.apps.streaming.runner import run_streaming, run_streaming_steady
+
+__all__ = ["StreamingParams", "run_streaming", "run_streaming_steady"]

@@ -1,0 +1,27 @@
+"""Task-Aware GASPI (TAGASPI) — the paper's contribution (§IV).
+
+The library lets OmpSs-2-style tasks issue one-sided GASPI operations and
+wait for remote notifications *asynchronously*: every call returns
+immediately and binds the calling task's completion (or execution, when
+called from an ``onready`` clause) to the finalization of the operation.
+A transparent polling task harvests local completions through the
+``gaspi_request_wait`` extension (§IV-C) and checks pending notifications
+collected through a lock-free MPSC queue + intrusive list (§IV-D).
+
+Public surface (paper naming, ``tagaspi_`` prefix dropped):
+
+=====================  ====================================================
+``write_notify``       write + remote notification; binds 2 events
+``write``              plain one-sided write; binds 1 event
+``read``               one-sided read; binds 1 event
+``notify``             data-free notification (the *ack* of §IV-B)
+``notify_iwait``       asynchronous wait for one notification
+``notify_iwaitall``    asynchronous wait for a contiguous id range
+=====================  ====================================================
+"""
+
+from repro.core.tagaspi import TAGASPI
+from repro.core.mpsc import MPSCQueue
+from repro.core.pool import ObjectPool, PendingNotification
+
+__all__ = ["TAGASPI", "MPSCQueue", "ObjectPool", "PendingNotification"]

@@ -1,0 +1,211 @@
+"""The TAGASPI library (paper §IV).
+
+Every operation is call-shaped (returns immediately), mirrors a GASPI RMA
+primitive, and binds the calling task's completion to the operation's
+local finalization via the external events API — the paper's Fig. 7
+implementation, with the task object itself playing the role of the opaque
+event-counter pointer passed as the low-level operation tag.
+
+The transparent polling task (§IV-D, §V-B) does two things per pass:
+
+1. ``gaspi_request_wait`` on every queue (non-blocking) and fulfill one
+   event per completed low-level request, using the request's tag to find
+   the owning task;
+2. drain the MPSC queue of freshly-registered pending notifications into
+   the intrusive list and test each one against the segment's notification
+   table, storing the notified value and fulfilling the waiter's event on
+   arrival.
+
+Calls made from an ``onready`` callback register *execution-delaying*
+events instead (paper §V-A) — the mechanism behind the ack-protected
+writer tasks of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.mpsc import MPSCQueue
+from repro.core.pool import ObjectPool, PendingNotification
+from repro.gaspi.operations import (
+    GASPI_OP_NOTIFY,
+    GASPI_OP_READ,
+    GASPI_OP_WRITE,
+    GASPI_OP_WRITE_NOTIFY,
+    low_level_requests,
+)
+from repro.gaspi.proc import GaspiRank
+from repro.sim.context import charge_current
+from repro.tasking.polling import PollableWork, spawn_polling_service
+from repro.tasking.runtime import Runtime, TaskingError
+from repro.tasking.task import Task
+
+#: max low-level requests harvested per queue per polling pass (MAX_REQS
+#: in the paper's Fig. 7)
+MAX_REQS = 64
+
+#: CPU cost of testing one pending notification in the poller
+NOTIF_TEST_COST = 0.03e-6
+
+
+class TAGASPI:
+    """Per-rank TAGASPI instance binding a tasking runtime to a GASPI rank.
+
+    Parameters
+    ----------
+    runtime:
+        The rank's tasking runtime.
+    gaspi_rank:
+        The rank's simulated GASPI process.
+    poll_period_us:
+        Polling-task period in microseconds (paper §VI: 150µs for
+        Gauss–Seidel / miniAMR, 50µs for Streaming).
+    """
+
+    def __init__(self, runtime: Runtime, gaspi_rank: GaspiRank,
+                 poll_period_us: float = 150.0):
+        self.runtime = runtime
+        self.gaspi = gaspi_rank
+        self.poll_period_us = poll_period_us
+        self.mpsc = MPSCQueue(runtime.engine)
+        self.pool = ObjectPool(runtime.engine)
+        #: the poller's working set of pending notifications (stands in for
+        #: the Boost intrusive list of §IV-D)
+        self._pending_notifs: List[PendingNotification] = []
+        self.work = PollableWork(runtime.engine)
+        self.stats_ops = 0
+        self.stats_notif_waits = 0
+        self.stats_notif_immediate = 0
+        self._poller = spawn_polling_service(
+            runtime, self.poll_requests, poll_period_us, self.work,
+            label="tagaspi.poll",
+        )
+
+    # ------------------------------------------------------------------
+    # RMA operations (task-aware variants of the GASPI primitives)
+    # ------------------------------------------------------------------
+    def write_notify(self, local_seg: int, local_off: int, dest: int,
+                     remote_seg: int, remote_off: int, count: int,
+                     notif_id: int, notif_val: int, queue: int) -> None:
+        """``tagaspi_write_notify`` (paper Figs. 3 and 7): one-sided write
+        plus notification-after-data; binds two events (write + notify
+        low-level requests) to the calling task."""
+        self._submit(GASPI_OP_WRITE_NOTIFY, queue, local_seg=local_seg,
+                     local_off=local_off, dest=dest, remote_seg=remote_seg,
+                     remote_off=remote_off, count=count, notif_id=notif_id,
+                     notif_val=notif_val)
+
+    def write(self, local_seg: int, local_off: int, dest: int,
+              remote_seg: int, remote_off: int, count: int, queue: int) -> None:
+        """``tagaspi_write``: plain one-sided write; binds one event."""
+        self._submit(GASPI_OP_WRITE, queue, local_seg=local_seg,
+                     local_off=local_off, dest=dest, remote_seg=remote_seg,
+                     remote_off=remote_off, count=count)
+
+    def read(self, local_seg: int, local_off: int, dest: int,
+             remote_seg: int, remote_off: int, count: int, queue: int) -> None:
+        """``tagaspi_read``: one-sided read into the local segment; the
+        local buffer is valid only for successor tasks (the task should
+        declare an *out* dependency on it, paper §IV-A)."""
+        self._submit(GASPI_OP_READ, queue, local_seg=local_seg,
+                     local_off=local_off, dest=dest, remote_seg=remote_seg,
+                     remote_off=remote_off, count=count)
+
+    def notify(self, dest: int, remote_seg: int, notif_id: int,
+               notif_val: int, queue: int) -> None:
+        """``tagaspi_notify``: data-free remote notification — the *ack*
+        of the iterative producer-consumer pattern (§IV-B); binds one
+        event when called from a task, and is also callable from plain
+        (non-task) context during setup."""
+        self._submit(GASPI_OP_NOTIFY, queue, dest=dest, remote_seg=remote_seg,
+                     notif_id=notif_id, notif_val=notif_val, required_task=False)
+
+    def _submit(self, op: str, queue: int, required_task: bool = True, **params) -> None:
+        task = self.runtime.current_task
+        if task is None and required_task:
+            raise TaskingError(f"tagaspi_{op} called outside a task")
+        nreq = low_level_requests(op)
+        if task is not None:
+            task.add_event(nreq)
+            tag = (task, task._in_onready)
+        else:
+            tag = None
+        self.gaspi.operation_submit(op, tag, queue, **params)
+        self.work.notify_work(nreq)
+        self.stats_ops += 1
+
+    # ------------------------------------------------------------------
+    # notification waiting
+    # ------------------------------------------------------------------
+    def notify_iwait(self, seg_id: int, notif_id: int,
+                     out: Optional[list] = None) -> None:
+        """``tagaspi_notify_iwait`` (paper Fig. 4): asynchronously wait for
+        one notification. If it already arrived, consume it immediately
+        (no event); otherwise bind one event and hand the pending object
+        to the poller. ``out`` is an optional single-slot mutable holder
+        for the notified value (the paper's pointer parameter)."""
+        task = self.runtime.current_task
+        if task is None:
+            raise TaskingError("tagaspi_notify_iwait called outside a task")
+        val = self.gaspi.notify_test(seg_id, notif_id)
+        if val is not None:
+            if out is not None:
+                out[0] = val
+            self.stats_notif_immediate += 1
+            return
+        task.add_event(1)
+        obj = self.pool.acquire().assign(seg_id, notif_id, out, task, task._in_onready)
+        self.mpsc.push(obj)
+        self.work.notify_work(1)
+        self.stats_notif_waits += 1
+
+    def notify_iwaitall(self, seg_id: int, begin: int, count: int,
+                        outs: Optional[Sequence[list]] = None) -> None:
+        """``tagaspi_notify_iwaitall``: wait a consecutive range of
+        notification ids [begin, begin+count)."""
+        for i in range(count):
+            self.notify_iwait(seg_id, begin + i, None if outs is None else outs[i])
+
+    # ------------------------------------------------------------------
+    # polling-task body (paper Fig. 7, pollRequests)
+    # ------------------------------------------------------------------
+    def poll_requests(self) -> None:
+        # (1) local completions per queue via the §IV-C extension
+        retired = 0
+        for q in range(len(self.gaspi.queues)):
+            for req in self.gaspi.request_wait(q, MAX_REQS):
+                if req.tag is not None:
+                    task, is_pre = req.tag
+                    if is_pre:
+                        task.fulfill_pre_event(1)
+                    else:
+                        task.fulfill_event(1)
+                retired += 1
+        # (2) drain freshly registered pending notifications, then test all
+        fresh = self.mpsc.drain()
+        if fresh:
+            self._pending_notifs.extend(fresh)
+        if self._pending_notifs:
+            charge_current(self.runtime.engine,
+                           NOTIF_TEST_COST * len(self._pending_notifs))
+            still: List[PendingNotification] = []
+            for obj in self._pending_notifs:
+                val = self.gaspi.notify_test(obj.seg_id, obj.notif_id)
+                if val is None:
+                    still.append(obj)
+                    continue
+                if obj.out is not None:
+                    obj.out[0] = val
+                if obj.is_pre:
+                    obj.task.fulfill_pre_event(1)
+                else:
+                    obj.task.fulfill_event(1)
+                self.pool.release(obj)
+                retired += 1
+            self._pending_notifs = still
+        if retired:
+            self.work.retire(retired)
+
+    @property
+    def pending_notification_count(self) -> int:
+        return len(self._pending_notifs) + len(self.mpsc)

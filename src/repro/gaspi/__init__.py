@@ -1,0 +1,54 @@
+"""Simulated GASPI (GPI-2-like) one-sided communication.
+
+Models the GASPI features the paper builds on (§II-B) plus the extension it
+contributes (§IV-C):
+
+* **Segments** — registered memory regions (numpy arrays) remotely
+  writable/readable by other ranks.
+* **Queues** — per-rank communication queues; operations posted to the same
+  queue and target arrive in order. Queue submission serializes on a
+  *per-queue* lock whose hold time is far below MPI's global-lock cost —
+  the contention asymmetry behind the paper's fine-grained results.
+* **Notifications** — ``write_notify`` delivers a (id, value) notification
+  to the target *after* the written data is visible; ``notify`` sends a
+  data-free notification. Plus ``notify_test``/``notify_waitsome`` style
+  consumption with reset semantics.
+* **The paper's extension** — ``operation_submit(op, tag, …)`` posts any
+  operation with a 64-bit tag attached to each low-level request it
+  expands to (write+notify = two requests, as in GPI-2/ibverbs), and
+  ``request_wait(queue, max_reqs, …)`` returns the tags of locally
+  completed requests. This is the fine-grained local-completion API that
+  makes TAGASPI implementable.
+
+Offsets and counts in this model are in *elements* of the segment's dtype
+(the standard's byte offsets, divided by the item size) — a Python-facing
+simplification documented in DESIGN.md.
+"""
+
+from repro.gaspi.errors import GaspiError
+from repro.gaspi.segments import Segment
+from repro.gaspi.queues import GaspiQueue, LowLevelRequest
+from repro.gaspi.operations import (
+    GASPI_OP_WRITE,
+    GASPI_OP_WRITE_NOTIFY,
+    GASPI_OP_NOTIFY,
+    GASPI_OP_READ,
+    GASPI_TEST,
+    GASPI_BLOCK,
+)
+from repro.gaspi.proc import GaspiContext, GaspiRank
+
+__all__ = [
+    "GaspiError",
+    "Segment",
+    "GaspiQueue",
+    "LowLevelRequest",
+    "GaspiContext",
+    "GaspiRank",
+    "GASPI_OP_WRITE",
+    "GASPI_OP_WRITE_NOTIFY",
+    "GASPI_OP_NOTIFY",
+    "GASPI_OP_READ",
+    "GASPI_TEST",
+    "GASPI_BLOCK",
+]

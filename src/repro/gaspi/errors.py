@@ -1,0 +1,5 @@
+"""GASPI model error type."""
+
+
+class GaspiError(RuntimeError):
+    """Misuse of the simulated GASPI API."""

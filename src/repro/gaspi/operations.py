@@ -1,0 +1,39 @@
+"""Operation-type constants for the §IV-C low-level submission API.
+
+Mirrors the paper's proposal::
+
+    gaspi_operation_submit(gaspi_operation_t operation, gaspi_tag_t tag, ...)
+
+Each constant also knows how many low-level (ibverbs-like) requests GPI-2
+creates for it: a ``write_notify`` chains a write request and a notify
+request, so a single submission with tag *t* later yields *two* completed
+requests tagged *t* from ``request_wait`` — exactly why TAGASPI increments
+the calling task's event counter by 2 (paper Fig. 7, line 3).
+"""
+
+from __future__ import annotations
+
+GASPI_OP_WRITE = "write"
+GASPI_OP_WRITE_NOTIFY = "write_notify"
+GASPI_OP_NOTIFY = "notify"
+GASPI_OP_READ = "read"
+
+#: non-blocking timeout value for request_wait / notify_waitsome
+GASPI_TEST = 0.0
+#: block until satisfied
+GASPI_BLOCK = float("inf")
+
+#: low-level requests created per operation type
+LOW_LEVEL_REQUESTS = {
+    GASPI_OP_WRITE: 1,
+    GASPI_OP_WRITE_NOTIFY: 2,
+    GASPI_OP_NOTIFY: 1,
+    GASPI_OP_READ: 1,
+}
+
+
+def low_level_requests(op: str) -> int:
+    try:
+        return LOW_LEVEL_REQUESTS[op]
+    except KeyError:
+        raise ValueError(f"unknown GASPI operation {op!r}") from None

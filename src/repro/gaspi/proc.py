@@ -1,0 +1,320 @@
+"""GASPI processes: segment registration and one-sided operations.
+
+The API mirrors the GASPI standard functions the paper uses, in snake_case
+without the ``gaspi_`` prefix, plus the §IV-C extension
+(``operation_submit`` / ``request_wait``). All submission functions are
+call-shaped (synchronous, CPU charged to the caller); the only
+generator-shaped function is the legacy coarse-grained :meth:`wait`, which
+the paper explicitly *obsoletes* for task-aware codes but which we provide
+for completeness and for the fork-join baseline in the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gaspi.errors import GaspiError
+from repro.gaspi.operations import (
+    GASPI_OP_NOTIFY,
+    GASPI_OP_READ,
+    GASPI_OP_WRITE,
+    GASPI_OP_WRITE_NOTIFY,
+    GASPI_TEST,
+    low_level_requests,
+)
+from repro.gaspi.queues import GaspiQueue, LowLevelRequest
+from repro.gaspi.segments import Segment
+from repro.network.message import Message
+from repro.network.topology import Cluster
+from repro.sim.context import charge_current
+
+#: wire size of a notification-only message / read request header
+_CONTROL_BYTES = 32
+
+
+class GaspiContext:
+    """All GASPI ranks of the simulated job."""
+
+    def __init__(self, cluster: Cluster, n_queues: int = 8):
+        if cluster.n_ranks == 0:
+            raise GaspiError("place ranks on the cluster before creating GaspiContext")
+        if n_queues < 1:
+            raise GaspiError("need at least one queue")
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.fabric = cluster.fabric
+        self.n_ranks = cluster.n_ranks
+        self.n_queues = n_queues
+        self.ranks: List[GaspiRank] = [GaspiRank(self, r) for r in range(self.n_ranks)]
+
+    def rank(self, r: int) -> "GaspiRank":
+        return self.ranks[r]
+
+
+class GaspiRank:
+    """One GASPI process: its segments, queues, and operations."""
+
+    def __init__(self, context: GaspiContext, rank: int):
+        self.context = context
+        self.engine = context.engine
+        self.cluster = context.cluster
+        self.fabric = context.fabric
+        self.rank = rank
+        self.segments: Dict[int, Segment] = {}
+        self.queues: List[GaspiQueue] = [
+            GaspiQueue(self.engine, rank, q) for q in range(context.n_queues)
+        ]
+        self._read_waiters: Dict[int, Tuple[LowLevelRequest, int, int, int]] = {}
+        self._read_op_seq = 0
+        self.cluster.register_endpoint(rank, "gaspi", self._handle)
+        sw = self.fabric.cost
+        self._c_op = sw("gaspi.op", 0.4e-6)
+        self._c_notify = sw("gaspi.notify", 0.2e-6)
+        self._c_rw_base = sw("gaspi.request_wait_base", 0.25e-6)
+        self._c_rw_per = sw("gaspi.request_wait_per_req", 0.02e-6)
+
+    # ------------------------------------------------------------------
+    # segments
+    # ------------------------------------------------------------------
+    def segment_register(self, seg_id: int, array: np.ndarray) -> Segment:
+        """Expose ``array`` as segment ``seg_id`` of this rank.
+
+        All ranks of an application register the same segment ids
+        (collectively, like ``gaspi_segment_create``), though sizes may
+        differ per rank.
+        """
+        if seg_id in self.segments:
+            raise GaspiError(f"segment {seg_id} already registered at rank {self.rank}")
+        seg = Segment(seg_id, array)
+        self.segments[seg_id] = seg
+        return seg
+
+    def segment(self, seg_id: int) -> Segment:
+        try:
+            return self.segments[seg_id]
+        except KeyError:
+            raise GaspiError(f"rank {self.rank} has no segment {seg_id}") from None
+
+    # ------------------------------------------------------------------
+    # the §IV-C extension: tagged submission + fine-grained completion
+    # ------------------------------------------------------------------
+    def operation_submit(
+        self,
+        operation: str,
+        tag: int,
+        queue: int,
+        *,
+        local_seg: Optional[int] = None,
+        local_off: int = 0,
+        dest: Optional[int] = None,
+        remote_seg: Optional[int] = None,
+        remote_off: int = 0,
+        count: int = 0,
+        notif_id: Optional[int] = None,
+        notif_val: int = 1,
+    ) -> None:
+        """Submit any GASPI operation with ``tag`` attached to each
+        low-level request it creates (paper §IV-C).
+
+        The relevant subset of parameters per operation:
+
+        * ``write``: local_seg/local_off, dest, remote_seg/remote_off, count
+        * ``write_notify``: as write + notif_id/notif_val
+        * ``notify``: dest, remote_seg, notif_id, notif_val
+        * ``read``: local_seg/local_off (destination), dest,
+          remote_seg/remote_off (source), count
+        """
+        q = self._queue(queue)
+        grant = q.device.use(self._c_op)
+        charge_current(self.engine, grant.wait + self._c_op)
+        depart = grant.end - self.engine.now
+        nreq = low_level_requests(operation)
+
+        if operation in (GASPI_OP_WRITE, GASPI_OP_WRITE_NOTIFY):
+            src = self.segment(local_seg).view(local_off, count)
+            meta = {
+                "remote_seg": remote_seg,
+                "remote_off": remote_off,
+                "queue": queue,
+            }
+            if operation == GASPI_OP_WRITE_NOTIFY:
+                if notif_id is None:
+                    raise GaspiError("write_notify requires notif_id")
+                meta["notif_id"] = notif_id
+                meta["notif_val"] = notif_val
+            msg = Message(
+                self.rank, self._check_dest(dest), "gaspi", operation,
+                src.nbytes + _CONTROL_BYTES, np.array(src, copy=True), meta=meta,
+            )
+            local_done = self.cluster.send(msg, depart_delay=depart)
+            for _ in range(nreq):
+                q.post(LowLevelRequest(tag=tag, done_at=local_done, op=operation))
+
+        elif operation == GASPI_OP_NOTIFY:
+            if notif_id is None:
+                raise GaspiError("notify requires notif_id")
+            msg = Message(
+                self.rank, self._check_dest(dest), "gaspi", operation,
+                _CONTROL_BYTES, None,
+                meta={"remote_seg": remote_seg, "notif_id": notif_id,
+                      "notif_val": notif_val, "queue": queue},
+            )
+            local_done = self.cluster.send(msg, depart_delay=depart)
+            q.post(LowLevelRequest(tag=tag, done_at=local_done, op=operation))
+
+        elif operation == GASPI_OP_READ:
+            dst_view = self.segment(local_seg).view(local_off, count)
+            op_id = self._read_op_seq
+            self._read_op_seq += 1
+            # the request completes when the response lands; post with an
+            # infinite done time and fix it up on arrival
+            req = LowLevelRequest(tag=tag, done_at=float("inf"), op=operation)
+            q.post(req)
+            self._read_waiters[op_id] = (req, local_seg, local_off, count)
+            msg = Message(
+                self.rank, self._check_dest(dest), "gaspi", "read_req",
+                _CONTROL_BYTES, None,
+                meta={"remote_seg": remote_seg, "remote_off": remote_off,
+                      "count": count, "op_id": op_id, "queue": queue},
+            )
+            self.cluster.send(msg, depart_delay=depart)
+        else:  # pragma: no cover - low_level_requests already validated
+            raise GaspiError(f"unknown operation {operation!r}")
+
+    def request_wait(
+        self, queue: int, max_reqs: int, timeout: float = GASPI_TEST
+    ) -> List[LowLevelRequest]:
+        """Harvest up to ``max_reqs`` locally-completed low-level requests
+        from ``queue`` (paper §IV-C ``gaspi_request_wait``).
+
+        With ``timeout=GASPI_TEST`` (the only mode the TAGASPI poller
+        uses) this never blocks: it returns what is complete *now*. The
+        call charges CPU proportional to the number of requests returned.
+        """
+        q = self._queue(queue)
+        done = q.harvest(max_reqs, self.engine.now)
+        charge_current(self.engine, self._c_rw_base + self._c_rw_per * len(done))
+        return done
+
+    # ------------------------------------------------------------------
+    # standard-style convenience wrappers
+    # ------------------------------------------------------------------
+    def write(self, local_seg, local_off, dest, remote_seg, remote_off, count,
+              queue: int, tag: int = 0) -> None:
+        """gaspi_write: one-sided write, no notification."""
+        self.operation_submit(
+            GASPI_OP_WRITE, tag, queue, local_seg=local_seg, local_off=local_off,
+            dest=dest, remote_seg=remote_seg, remote_off=remote_off, count=count,
+        )
+
+    def write_notify(self, local_seg, local_off, dest, remote_seg, remote_off,
+                     count, notif_id, notif_val, queue: int, tag: int = 0) -> None:
+        """gaspi_write_notify: write + notification-after-data."""
+        self.operation_submit(
+            GASPI_OP_WRITE_NOTIFY, tag, queue, local_seg=local_seg,
+            local_off=local_off, dest=dest, remote_seg=remote_seg,
+            remote_off=remote_off, count=count, notif_id=notif_id,
+            notif_val=notif_val,
+        )
+
+    def notify(self, dest, remote_seg, notif_id, notif_val, queue: int,
+               tag: int = 0) -> None:
+        """gaspi_notify: data-free remote notification."""
+        self.operation_submit(
+            GASPI_OP_NOTIFY, tag, queue, dest=dest, remote_seg=remote_seg,
+            notif_id=notif_id, notif_val=notif_val,
+        )
+
+    def read(self, local_seg, local_off, dest, remote_seg, remote_off, count,
+             queue: int, tag: int = 0) -> None:
+        """gaspi_read: one-sided read into the local segment."""
+        self.operation_submit(
+            GASPI_OP_READ, tag, queue, local_seg=local_seg, local_off=local_off,
+            dest=dest, remote_seg=remote_seg, remote_off=remote_off, count=count,
+        )
+
+    # -- notification consumption (receiver side) -------------------------
+    def notify_test(self, seg_id: int, notif_id: int) -> Optional[int]:
+        """Non-blocking read-and-reset of one notification; None if not
+        arrived. The primitive TAGASPI's poller is built on."""
+        return self.segment(seg_id).consume(notif_id)
+
+    def notify_waitsome(self, seg_id: int, begin: int, count: int) -> Generator:
+        """Blocking wait for any notification in [begin, begin+count);
+        yields (id, value) with reset semantics. Legacy/fork-join style."""
+        seg = self.segment(seg_id)
+        while True:
+            hit = seg.consume_any(begin, count)
+            if hit is not None:
+                return hit
+            yield self.engine.timeout(self._poll_backoff())
+
+    def wait(self, queue: int) -> Generator:
+        """Legacy coarse-grained gaspi_wait: block until *all* operations
+        posted to ``queue`` are locally complete (paper §II-B; obsoleted by
+        TAGASPI but kept for the non-task-aware baselines)."""
+        q = self._queue(queue)
+        while True:
+            q.harvest(len(q.inflight), self.engine.now)
+            if not q.inflight:
+                return
+            pending = [r.done_at for r in q.inflight if r.done_at != float("inf")]
+            if pending:
+                delay = max(min(pending) - self.engine.now, 0.0)
+                yield self.engine.timeout(delay)
+            else:
+                yield self.engine.timeout(self._poll_backoff())
+
+    # ------------------------------------------------------------------
+    # endpoint
+    # ------------------------------------------------------------------
+    def _handle(self, msg: Message) -> None:
+        kind = msg.kind
+        if kind in (GASPI_OP_WRITE, GASPI_OP_WRITE_NOTIFY):
+            seg = self.segment(msg.meta["remote_seg"])
+            dst = seg.view(msg.meta["remote_off"], msg.payload.size)
+            dst[:] = msg.payload
+            if kind == GASPI_OP_WRITE_NOTIFY:
+                # data first, then the notification — same instant, so no
+                # observer can see the notification before the data
+                seg.post_notification(msg.meta["notif_id"], msg.meta["notif_val"])
+        elif kind == GASPI_OP_NOTIFY:
+            self.segment(msg.meta["remote_seg"]).post_notification(
+                msg.meta["notif_id"], msg.meta["notif_val"]
+            )
+        elif kind == "read_req":
+            src = self.segment(msg.meta["remote_seg"]).view(
+                msg.meta["remote_off"], msg.meta["count"]
+            )
+            reply = Message(
+                self.rank, msg.src_rank, "gaspi", "read_resp",
+                src.nbytes + _CONTROL_BYTES, np.array(src, copy=True),
+                meta={"op_id": msg.meta["op_id"]},
+            )
+            self.cluster.send(reply)
+        elif kind == "read_resp":
+            req, seg_id, off, count = self._read_waiters.pop(msg.meta["op_id"])
+            self.segment(seg_id).view(off, count)[:] = msg.payload
+            req.done_at = self.engine.now
+        else:  # pragma: no cover - defensive
+            raise GaspiError(f"unknown gaspi message kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def _queue(self, queue: int) -> GaspiQueue:
+        if not 0 <= queue < len(self.queues):
+            raise GaspiError(f"queue {queue} out of range [0, {len(self.queues)})")
+        return self.queues[queue]
+
+    def _check_dest(self, dest: Optional[int]) -> int:
+        if dest is None or not 0 <= dest < self.context.n_ranks:
+            raise GaspiError(f"bad destination rank {dest!r}")
+        return dest
+
+    def _poll_backoff(self) -> float:
+        # blocking legacy waits poll at ~1µs granularity
+        return 1e-6
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<GaspiRank {self.rank}/{self.context.n_ranks}>"

@@ -1,0 +1,54 @@
+"""Result records and derived metrics (speedup, parallel efficiency).
+
+The paper computes speedup against the *MPI-only one-node* throughput and
+efficiency against *each variant's own one-node* throughput (§VI-A/B);
+:func:`speedup` and :func:`parallel_efficiency` implement exactly those
+conventions so the benches can't quietly diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class VariantResult:
+    """One (variant, configuration) measurement."""
+
+    variant: str
+    n_nodes: int
+    #: figure of merit in the app's units (GUpdates/s or GElements/s)
+    throughput: float
+    #: total simulated seconds
+    sim_time: float
+    #: throughput excluding the refinement phases (miniAMR's NR series)
+    throughput_nr: Optional[float] = None
+    #: auxiliary counters (time in MPI, lock waits, message counts, …)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.throughput < 0 or self.sim_time < 0:
+            raise ValueError("throughput and sim_time must be non-negative")
+
+
+def speedup(results: List[VariantResult], baseline: VariantResult) -> Dict[int, float]:
+    """Per-node-count speedup of ``results`` relative to ``baseline``
+    (conventionally the MPI-only single-node point)."""
+    if baseline.throughput <= 0:
+        raise ValueError("baseline throughput must be positive")
+    return {r.n_nodes: r.throughput / baseline.throughput for r in results}
+
+
+def parallel_efficiency(results: List[VariantResult]) -> Dict[int, float]:
+    """Efficiency of each point against the same variant's smallest-node
+    point: eff(n) = T(n) / (T(n0) * n/n0)."""
+    if not results:
+        return {}
+    base = min(results, key=lambda r: r.n_nodes)
+    if base.throughput <= 0:
+        raise ValueError("base throughput must be positive")
+    return {
+        r.n_nodes: (r.throughput / base.throughput) / (r.n_nodes / base.n_nodes)
+        for r in results
+    }

@@ -1,0 +1,33 @@
+"""Plain-text tables for benchmark output (one per paper figure)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.4g}" if isinstance(c, float) else str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, series: Dict[str, Dict],
+                  x_values: Sequence) -> str:
+    """Render several y-series sharing an x axis (a text 'figure')."""
+    headers = [x_label] + list(series)
+    rows = []
+    for x in x_values:
+        row = [x]
+        for name in series:
+            v = series[name].get(x)
+            row.append(v if v is not None else "-")
+        rows.append(row)
+    return format_table(title, headers, rows)

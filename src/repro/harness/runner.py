@@ -1,0 +1,161 @@
+"""Job construction and execution.
+
+A :class:`JobSpec` describes one experimental point (machine, node count,
+variant, polling period, seed); :func:`build_job` assembles the simulated
+cluster and the per-rank contexts the variant needs. Application runners
+then attach per-rank main processes and call :meth:`Job.run`.
+
+Rank layouts follow the paper:
+
+* ``mpi``      — ``cores_per_node`` single-threaded ranks per node;
+* ``tampi`` / ``tagaspi`` — ``ranks_per_node`` runtimes per node (default
+  1), each with ``cores_per_node / ranks_per_node`` worker cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core import TAGASPI
+from repro.gaspi import GaspiContext
+from repro.harness.machines import Machine
+from repro.mpi import MPIContext, MPIProcDriver
+from repro.network import Cluster
+from repro.sim import Engine, derive_rng
+from repro.sim.engine import SimulationError
+from repro.tampi import TAMPI
+from repro.tasking import Runtime, RuntimeConfig
+
+
+class VariantError(ValueError):
+    """Unknown or inconsistent variant configuration."""
+
+
+VARIANTS = ("mpi", "tampi", "tagaspi")
+
+
+@dataclass
+class JobSpec:
+    """One experimental configuration."""
+
+    machine: Machine
+    n_nodes: int
+    variant: str
+    #: hybrid ranks per node (1 = one runtime spanning the node, the
+    #: paper's Streaming/GS-on-CTE layout; 2 = one per socket)
+    ranks_per_node: int = 1
+    #: polling period for the task-aware library, microseconds
+    poll_period_us: float = 150.0
+    #: GASPI queues per rank (tagaspi only)
+    n_queues: int = 8
+    #: RNG seed for network jitter and app randomness; None disables jitter
+    seed: Optional[int] = 1
+    #: tasking overhead configuration override
+    runtime_config: Optional[RuntimeConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise VariantError(f"variant must be one of {VARIANTS}, got {self.variant!r}")
+        if self.n_nodes < 1:
+            raise VariantError("n_nodes must be >= 1")
+        if self.variant == "mpi":
+            self.ranks_per_node = self.machine.cores_per_node
+        elif self.machine.cores_per_node % self.ranks_per_node != 0:
+            raise VariantError(
+                f"{self.ranks_per_node} ranks/node does not divide "
+                f"{self.machine.cores_per_node} cores/node"
+            )
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_nodes * self.ranks_per_node
+
+    @property
+    def cores_per_rank(self) -> int:
+        return self.machine.cores_per_node // self.ranks_per_node
+
+    @property
+    def is_hybrid(self) -> bool:
+        return self.variant != "mpi"
+
+
+class Job:
+    """An assembled simulation: cluster + per-rank substrate contexts."""
+
+    def __init__(self, spec: JobSpec):
+        self.spec = spec
+        self.engine = Engine()
+        rng = None if spec.seed is None else derive_rng(spec.seed, "net")
+        self.cluster = Cluster(self.engine, spec.n_nodes, spec.machine.fabric, rng=rng)
+        self.cluster.place_ranks_block(spec.n_ranks, spec.ranks_per_node)
+
+        self.mpi: Optional[MPIContext] = None
+        self.gaspi: Optional[GaspiContext] = None
+        self.runtimes: List[Runtime] = []
+        self.tampi: List[TAMPI] = []
+        self.tagaspi: List[TAGASPI] = []
+        self.drivers: List[MPIProcDriver] = []
+
+        if spec.variant == "mpi":
+            self.mpi = MPIContext(self.cluster)
+            self.drivers = [MPIProcDriver(self.mpi.rank(r)) for r in range(spec.n_ranks)]
+        else:
+            rt_cfg = spec.runtime_config or RuntimeConfig(n_cores=spec.cores_per_rank)
+            if rt_cfg.n_cores != spec.cores_per_rank:
+                raise VariantError(
+                    f"runtime_config.n_cores={rt_cfg.n_cores} != cores_per_rank="
+                    f"{spec.cores_per_rank}"
+                )
+            self.runtimes = [
+                Runtime(self.engine, rt_cfg, name=f"rank{r}")
+                for r in range(spec.n_ranks)
+            ]
+            if spec.variant == "tampi":
+                self.mpi = MPIContext(self.cluster)
+                self.tampi = [
+                    TAMPI(self.runtimes[r], self.mpi.rank(r), spec.poll_period_us)
+                    for r in range(spec.n_ranks)
+                ]
+            else:  # tagaspi — MPI also available (library mixing, §VI-B)
+                self.gaspi = GaspiContext(self.cluster, n_queues=spec.n_queues)
+                self.mpi = MPIContext(self.cluster)
+                self.tagaspi = [
+                    TAGASPI(self.runtimes[r], self.gaspi.rank(r), spec.poll_period_us)
+                    for r in range(spec.n_ranks)
+                ]
+                self.tampi = [
+                    TAMPI(self.runtimes[r], self.mpi.rank(r), spec.poll_period_us)
+                    for r in range(spec.n_ranks)
+                ]
+
+    # ------------------------------------------------------------------
+    def app_rng(self, *path) -> np.random.Generator:
+        """Deterministic RNG stream for application-level randomness."""
+        return derive_rng(self.spec.seed or 0, "app", *path)
+
+    def run(self, procs, max_events: Optional[int] = 50_000_000) -> float:
+        """Run until every process in ``procs`` terminates; returns the sim
+        time. Raises on deadlock or process failure."""
+        eng = self.engine
+        fired = 0
+        pending = list(procs)
+        while any(not p.triggered for p in pending):
+            if eng.peek() == float("inf"):
+                alive = [p.name for p in pending if not p.triggered]
+                raise SimulationError(f"job deadlocked; still alive: {alive}")
+            eng.step()
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(f"job exceeded event budget ({max_events})")
+        for p in pending:
+            if p.ok is False:
+                raise p.value
+        return eng.now
+
+
+def build_job(spec: JobSpec) -> Job:
+    """Assemble the simulation for one experimental point."""
+    return Job(spec)

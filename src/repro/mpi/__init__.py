@@ -1,0 +1,41 @@
+"""Simulated two-sided and one-sided MPI.
+
+This package is a behavioural model of the MPI features the paper's
+baselines rely on:
+
+* non-blocking point-to-point with full matching semantics (tags,
+  ``ANY_SOURCE``/``ANY_TAG`` wildcards, non-overtaking order, unexpected-
+  message buffering) and eager/rendezvous protocols,
+* ``Test``/``Testsome``/``Wait``/``Waitall`` request completion,
+* the ``MPI_THREAD_MULTIPLE`` global-lock cost model (every MPI call holds
+  a per-process lock for a fabric-dependent time — the contention source
+  the paper identifies in §VI-C),
+* simple collectives (barrier, allreduce, bcast, gather) layered over
+  point-to-point on a reserved tag space,
+* MPI RMA: windows, ``Put``/``Get``, ``Win_flush`` with the extra
+  acknowledgement round trip described by Belli & Hoefler and paper §III,
+  fence and passive-target (global shared lock) modes.
+
+Data really moves: buffers are numpy arrays and receives materialize the
+sender's bytes, so application-level numerics are checkable.
+"""
+
+from repro.mpi.comm import MPIContext, MPIRank, MPIProcDriver
+from repro.mpi.requests import Request, RequestState
+from repro.mpi.errors import MPIError, MatchingError
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, COLLECTIVE_TAG_BASE
+from repro.mpi.rma import Window
+
+__all__ = [
+    "MPIContext",
+    "MPIRank",
+    "MPIProcDriver",
+    "Request",
+    "RequestState",
+    "MPIError",
+    "MatchingError",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "COLLECTIVE_TAG_BASE",
+    "Window",
+]

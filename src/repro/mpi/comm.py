@@ -1,0 +1,414 @@
+"""Simulated MPI processes: point-to-point, completion, and collectives.
+
+:class:`MPIContext` owns one :class:`MPIRank` per simulated MPI process.
+All *call-shaped* methods (``isend``, ``irecv``, ``test``, ``testsome``)
+are plain synchronous functions that
+
+1. serialize on the process's global lock (charging the caller's CPU via
+   the engine's current execution context), and
+2. timestamp their hardware effects at the lock grant, so injection times
+   are accurate even under lock contention.
+
+*Blocking* operations (``wait``, ``waitall``, ``barrier``, ``allreduce``,
+…) are generators to be driven with ``yield from`` inside a simulated
+process; they suspend the caller until completion — the shape of the
+optimized MPI-only baselines in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.network.message import Message
+from repro.network.topology import Cluster
+from repro.mpi.datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    COLLECTIVE_TAG_BASE,
+    CONTROL_BYTES,
+    buffer_nbytes,
+    copy_into,
+    validate_tag,
+)
+from repro.mpi.errors import MPIError
+from repro.mpi.matching import MatchingEngine
+from repro.mpi.requests import Request, RequestState
+from repro.mpi.threading import GlobalLock
+from repro.sim.context import AccumulatingSink, charge_current
+
+
+class MPIContext:
+    """A simulated ``MPI_COMM_WORLD`` over a cluster's placed ranks."""
+
+    def __init__(self, cluster: Cluster):
+        if cluster.n_ranks == 0:
+            raise MPIError("place ranks on the cluster before creating MPIContext")
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.fabric = cluster.fabric
+        self.n_ranks = cluster.n_ranks
+        self.ranks: List[MPIRank] = [MPIRank(self, r) for r in range(self.n_ranks)]
+        self._windows: list = []  # populated by repro.mpi.rma
+
+    def rank(self, r: int) -> "MPIRank":
+        return self.ranks[r]
+
+    def total_time_in_mpi(self) -> float:
+        """Aggregate wait+hold time inside the MPI library across ranks —
+        the paper's §VI-C "total time inside MPI" metric."""
+        return sum(rk.lock.time_in_mpi for rk in self.ranks)
+
+    def total_wait_in_mpi(self) -> float:
+        return sum(rk.lock.wait_in_mpi for rk in self.ranks)
+
+
+class MPIRank:
+    """One simulated MPI process."""
+
+    def __init__(self, context: MPIContext, rank: int):
+        self.context = context
+        self.engine = context.engine
+        self.cluster = context.cluster
+        self.fabric = context.fabric
+        self.rank = rank
+        self.lock = GlobalLock(self.engine, rank)
+        self.matching = MatchingEngine()
+        #: rendezvous sends awaiting CTS, by sender-side request uid
+        self._pending_sends: dict = {}
+        #: rendezvous recvs awaiting data, by receiver-side request uid
+        self._pending_recvs: dict = {}
+        self._coll_seq = 0
+        self.cluster.register_endpoint(rank, "mpi", self._handle)
+        # cached costs
+        sw = self.fabric.cost
+        self._c_call = sw("mpi.call", 0.5e-6)
+        self._c_match = sw("mpi.match", 0.3e-6)
+        self._c_ts_base = sw("mpi.testsome_base", 0.3e-6)
+        self._c_ts_per = sw("mpi.testsome_per_req", 0.05e-6)
+        self._eager_max = sw("mpi.eager_threshold", 16 * 1024)
+        self._c_handshake = sw("mpi.rendezvous_handshake", 0.3e-6)
+
+    # ------------------------------------------------------------------
+    # point-to-point (non-blocking, call-shaped)
+    # ------------------------------------------------------------------
+    def isend(self, buf: Optional[np.ndarray], dest: int, tag: int) -> Request:
+        """Start a non-blocking send; returns the request.
+
+        Messages at most ``mpi.eager_threshold`` bytes go eagerly (buffered
+        copy, local completion as soon as the bytes leave the NIC); larger
+        ones use the rendezvous protocol (RTS → CTS → data).
+        """
+        validate_tag(tag)
+        self._check_peer(dest)
+        nbytes = buffer_nbytes(buf)
+        req = Request(self.engine, "send", self.rank, dest, tag, buf, nbytes)
+        grant = self.lock.enter(self._c_call)
+        depart = grant.end - self.engine.now
+        if nbytes <= self._eager_max:
+            payload = None if buf is None else np.array(buf, copy=True)
+            msg = Message(
+                self.rank, dest, "mpi", "eager", nbytes + CONTROL_BYTES, payload,
+                meta={"tag": tag},
+            )
+            local_done = self.cluster.send(msg, depart_delay=depart)
+            req.complete_at(local_done)
+        else:
+            req.state = RequestState.HANDSHAKE
+            self._pending_sends[req.uid] = req
+            rts = Message(
+                self.rank, dest, "mpi", "rts", CONTROL_BYTES, None,
+                meta={"tag": tag, "send_uid": req.uid, "nbytes": nbytes},
+            )
+            self.cluster.send(rts, depart_delay=depart)
+        return req
+
+    def irecv(self, buf: Optional[np.ndarray], source: int, tag: int) -> Request:
+        """Start a non-blocking receive; returns the request."""
+        if tag != ANY_TAG:
+            validate_tag(tag)
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        nbytes = buffer_nbytes(buf)
+        req = Request(self.engine, "recv", self.rank, source, tag, buf, nbytes)
+        grant = self.lock.enter(self._c_call)
+        msg = self.matching.post_recv(req)
+        if msg is not None:
+            self._satisfy_recv(req, msg, at=grant.end)
+        return req
+
+    def _satisfy_recv(self, req: Request, msg: Message, at: float) -> None:
+        """Complete a receive from an unexpected-queue message."""
+        if msg.kind == "eager":
+            copy_into(req.buf, msg.payload)
+            copy_cost = 0.0
+            if msg.payload is not None:
+                # unexpected eager data is copied out of the internal buffer
+                copy_cost = msg.payload.nbytes / self.fabric.intra_bandwidth
+                charge_current(self.engine, copy_cost)
+            req.complete_at(at + self._c_match + copy_cost)
+        elif msg.kind == "rts":
+            self._send_cts(req, msg, depart_delay=at - self.engine.now)
+        else:  # pragma: no cover - defensive
+            raise MPIError(f"unexpected queued message kind {msg.kind!r}")
+
+    def _send_cts(self, req: Request, rts: Message, depart_delay: float) -> None:
+        if req.nbytes != rts.meta["nbytes"]:
+            raise MPIError(
+                f"rendezvous size mismatch r{rts.src_rank}->r{self.rank} "
+                f"tag={rts.meta['tag']}: recv {req.nbytes}B vs send {rts.meta['nbytes']}B"
+            )
+        self._pending_recvs[req.uid] = req
+        cts = Message(
+            self.rank, rts.src_rank, "mpi", "cts", CONTROL_BYTES, None,
+            meta={"send_uid": rts.meta["send_uid"], "recv_uid": req.uid},
+        )
+        self.cluster.send(cts, depart_delay=depart_delay)
+
+    # ------------------------------------------------------------------
+    # completion (call-shaped)
+    # ------------------------------------------------------------------
+    def test(self, req: Request) -> bool:
+        """MPI_Test: one lock round; True if the request completed."""
+        self.lock.enter(self._c_ts_base + self._c_ts_per)
+        return req.done
+
+    def testsome(self, reqs: Sequence[Request]) -> List[int]:
+        """MPI_Testsome: indices of completed requests; lock hold grows with
+        the number of requests inspected (the TAMPI poller's cost)."""
+        self.lock.enter(self._c_ts_base + self._c_ts_per * len(reqs))
+        return [i for i, r in enumerate(reqs) if r.done]
+
+    def testsome_timed(self, reqs: Sequence[Request]):
+        """Like :meth:`testsome` but also returns the lock grant, so the
+        caller (TAMPI's poller) can timestamp downstream effects at the
+        moment the lock was actually acquired — under contention, the
+        completion *detection* is delayed by the lock wait, which is the
+        critical-path effect of §VI-C."""
+        grant = self.lock.enter(self._c_ts_base + self._c_ts_per * len(reqs))
+        return grant, [i for i, r in enumerate(reqs) if r.done]
+
+    # ------------------------------------------------------------------
+    # blocking operations (generator-shaped)
+    # ------------------------------------------------------------------
+    def wait(self, req: Request) -> Generator:
+        """MPI_Wait: suspend the calling process until completion."""
+        self.lock.enter(self._c_call)
+        if not req.done:
+            yield req.event
+
+    def waitall(self, reqs: Sequence[Request]) -> Generator:
+        """MPI_Waitall over a request list."""
+        self.lock.enter(self._c_call)
+        pending = [r.event for r in reqs if not r.done]
+        if pending:
+            yield self.engine.all_of(pending)
+
+    # ------------------------------------------------------------------
+    # collectives (generator-shaped, built on point-to-point)
+    # ------------------------------------------------------------------
+    def _coll_tag(self, round_: int) -> int:
+        # 64 rounds per collective epoch is far more than dissemination needs
+        return COLLECTIVE_TAG_BASE + (self._coll_seq % (1 << 16)) * 64 + round_
+
+    def barrier(self) -> Generator:
+        """Dissemination barrier (log2 rounds of zero-byte messages)."""
+        n = self.context.n_ranks
+        seq_tags = [self._coll_tag(r) for r in range(64)]
+        self._coll_seq += 1
+        if n == 1:
+            return
+        k, round_ = 1, 0
+        while k < n:
+            dst = (self.rank + k) % n
+            src = (self.rank - k) % n
+            sreq = self.isend(None, dst, seq_tags[round_])
+            rreq = self.irecv(None, src, seq_tags[round_])
+            yield from self.waitall([sreq, rreq])
+            k *= 2
+            round_ += 1
+
+    def gather(self, value: np.ndarray, root: int) -> Generator:
+        """Gather equal-size arrays to ``root``; yields the list at root,
+        ``None`` elsewhere."""
+        n = self.context.n_ranks
+        tag = self._coll_tag(0)
+        self._coll_seq += 1
+        if self.rank == root:
+            out: List[Optional[np.ndarray]] = [None] * n
+            out[root] = np.array(value, copy=True)
+            reqs = []
+            for r in range(n):
+                if r == root:
+                    continue
+                buf = np.empty_like(value)
+                out[r] = buf
+                reqs.append(self.irecv(buf, r, tag))
+            yield from self.waitall(reqs)
+            return out
+        req = self.isend(value, root, tag)
+        yield from self.wait(req)
+        return None
+
+    def bcast(self, value: np.ndarray, root: int) -> Generator:
+        """Binomial-tree broadcast of an array; yields the array everywhere.
+
+        Non-root callers pass a correctly-shaped buffer that is filled in.
+        """
+        n = self.context.n_ranks
+        tag = self._coll_tag(1)
+        self._coll_seq += 1
+        if n == 1:
+            return value
+        vrank = (self.rank - root) % n
+        # receive from parent (the set bit below which we forward)
+        mask = 1
+        while mask < n:
+            if vrank & mask:
+                parent = ((vrank - mask) + root) % n
+                req = self.irecv(value, parent, tag)
+                yield from self.wait(req)
+                break
+            mask <<= 1
+        # forward to children at all lower bit positions
+        mask >>= 1
+        reqs = []
+        while mask > 0:
+            if vrank + mask < n:
+                child = (vrank + mask + root) % n
+                reqs.append(self.isend(value, child, tag))
+            mask >>= 1
+        if reqs:
+            yield from self.waitall(reqs)
+        return value
+
+    def allreduce(self, value: np.ndarray, op=np.add) -> Generator:
+        """Allreduce as gather-to-0 + reduce + broadcast; yields the result."""
+        arr = np.asarray(value)
+        gathered = yield from self.gather(arr, root=0)
+        if self.rank == 0:
+            acc = gathered[0]
+            for part in gathered[1:]:
+                acc = op(acc, part)
+            result = np.array(acc, copy=True)
+        else:
+            result = np.empty_like(arr)
+        result = yield from self.bcast(result, root=0)
+        return result
+
+    # ------------------------------------------------------------------
+    # network endpoint
+    # ------------------------------------------------------------------
+    def _handle(self, msg: Message) -> None:
+        if msg.kind in ("eager", "rts"):
+            req = self.matching.incoming(msg)
+            if req is None:
+                return  # buffered as unexpected
+            if msg.kind == "eager":
+                copy_into(req.buf, msg.payload)
+                req.complete_at(self.engine.now + self._c_match)
+            else:
+                self._send_cts(req, msg, depart_delay=0.0)
+        elif msg.kind == "cts":
+            send_req = self._pending_sends.pop(msg.meta["send_uid"])
+            # the library's progress engine injects the data transfer;
+            # it briefly takes the lock (interfering with user calls) but
+            # charges no user task.
+            grant = self.lock.enter(self._c_handshake)
+            data = Message(
+                self.rank,
+                msg.src_rank,
+                "mpi",
+                "data",
+                send_req.nbytes + CONTROL_BYTES,
+                np.array(send_req.buf, copy=True),
+                meta={"recv_uid": msg.meta["recv_uid"]},
+            )
+            local_done = self.cluster.send(data, depart_delay=grant.end - self.engine.now)
+            send_req.complete_at(local_done)
+        elif msg.kind == "data":
+            recv_req = self._pending_recvs.pop(msg.meta["recv_uid"])
+            copy_into(recv_req.buf, msg.payload)
+            recv_req.complete_at(self.engine.now + self._c_match)
+        else:
+            raise MPIError(f"unknown mpi message kind {msg.kind!r}")
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.context.n_ranks:
+            raise MPIError(f"peer rank {peer} out of range [0, {self.context.n_ranks})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MPIRank {self.rank}/{self.context.n_ranks}>"
+
+
+class MPIProcDriver:
+    """Convenience wrapper for writing **MPI-only** rank processes.
+
+    Wraps an :class:`MPIRank` so that each call realizes its charged CPU
+    time as simulated delay immediately, which is the right model for a
+    single-threaded MPI process (the paper's pure-MPI baselines)::
+
+        def main(drv):
+            req = yield from drv.isend(buf, dest, tag)
+            yield from drv.compute(seconds)
+            yield from drv.waitall([req, ...])
+
+    The driver's process must be created with
+    ``engine.process(main(drv))`` and assigned ``drv.sink`` as its context —
+    :meth:`spawn` does both.
+    """
+
+    def __init__(self, mpi_rank: MPIRank):
+        self.mpi = mpi_rank
+        self.engine = mpi_rank.engine
+        self.sink = AccumulatingSink()
+
+    def spawn(self, body_factory) -> "object":
+        """Start ``body_factory(self)`` as this rank's main process."""
+        proc = self.engine.process(body_factory(self))
+        proc.context = self.sink
+        proc.name = f"mpi-only.rank{self.mpi.rank}"
+        return proc
+
+    def _realize(self) -> Generator:
+        dt = self.sink.take()
+        if dt > 0.0:
+            yield self.engine.timeout(dt)
+
+    def compute(self, seconds: float) -> Generator:
+        """Occupy this rank's (single) core for ``seconds``."""
+        yield from self._realize()
+        if seconds > 0.0:
+            yield self.engine.timeout(seconds)
+
+    def isend(self, buf, dest: int, tag: int) -> Generator:
+        req = self.mpi.isend(buf, dest, tag)
+        yield from self._realize()
+        return req
+
+    def irecv(self, buf, source: int, tag: int) -> Generator:
+        req = self.mpi.irecv(buf, source, tag)
+        yield from self._realize()
+        return req
+
+    def wait(self, req: Request) -> Generator:
+        yield from self._realize()
+        yield from self.mpi.wait(req)
+        yield from self._realize()
+
+    def waitall(self, reqs: Sequence[Request]) -> Generator:
+        yield from self._realize()
+        yield from self.mpi.waitall(reqs)
+        yield from self._realize()
+
+    def barrier(self) -> Generator:
+        yield from self._realize()
+        yield from self.mpi.barrier()
+        yield from self._realize()
+
+    def allreduce(self, value, op=np.add) -> Generator:
+        yield from self._realize()
+        result = yield from self.mpi.allreduce(value, op)
+        yield from self._realize()
+        return result

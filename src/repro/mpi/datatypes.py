@@ -1,0 +1,60 @@
+"""Wildcards, tag spaces, and buffer helpers.
+
+Buffers throughout the MPI model are numpy arrays (any shape; they are
+viewed as flat byte sequences). ``None`` denotes a zero-byte message, used
+for pure synchronization (the paper's §III notification pattern sends an
+empty two-sided message).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mpi.errors import MPIError
+
+#: match any sending rank
+ANY_SOURCE = -1
+#: match any tag
+ANY_TAG = -2
+
+#: tags at or above this value are reserved for internal collectives
+COLLECTIVE_TAG_BASE = 1 << 30
+
+#: wire size of protocol control messages (RTS/CTS/acks), bytes
+CONTROL_BYTES = 32
+
+
+def buffer_nbytes(buf: Optional[np.ndarray]) -> int:
+    if buf is None:
+        return 0
+    if not isinstance(buf, np.ndarray):
+        raise MPIError(f"buffers must be numpy arrays or None, got {type(buf).__name__}")
+    return int(buf.nbytes)
+
+
+def copy_into(dst: Optional[np.ndarray], src: Optional[np.ndarray]) -> None:
+    """Copy the contents of ``src`` into ``dst``.
+
+    Sizes must match; dtypes must match (the model does not re-interpret
+    bytes across types). Works for non-contiguous destination views (halo
+    columns) via element-wise flat iteration.
+    """
+    if dst is None and src is None:
+        return
+    if dst is None or src is None:
+        raise MPIError("matched a zero-byte message with a non-empty buffer")
+    if dst.nbytes != src.nbytes:
+        raise MPIError(f"buffer size mismatch: recv {dst.nbytes}B vs send {src.nbytes}B")
+    if dst.dtype != src.dtype:
+        raise MPIError(f"dtype mismatch: recv {dst.dtype} vs send {src.dtype}")
+    if dst.shape == src.shape:
+        dst[...] = src
+    else:
+        dst.flat[:] = src.flat
+
+
+def validate_tag(tag: int) -> None:
+    if tag < 0:
+        raise MPIError(f"user tags must be non-negative, got {tag}")

@@ -1,0 +1,9 @@
+"""MPI model error types."""
+
+
+class MPIError(RuntimeError):
+    """Misuse of the simulated MPI API."""
+
+
+class MatchingError(MPIError):
+    """Inconsistent message matching (e.g. size mismatch on a matched pair)."""

@@ -1,0 +1,69 @@
+"""Two-sided message matching.
+
+Implements the posted-receive queue and unexpected-message queue that every
+real MPI keeps per process. Matching is FIFO within the queues, which —
+combined with the network's per-(src, dst) FIFO delivery — yields MPI's
+non-overtaking guarantee: two messages from the same sender with tags that
+match the same receive are received in send order.
+
+The cost of walking these queues is part of why fine-grained two-sided
+messaging loses to one-sided (paper §I); the per-message ``mpi.match``
+fabric cost stands in for it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG
+from repro.mpi.requests import Request
+from repro.network.message import Message
+
+
+def _req_matches_msg(req: Request, msg: Message) -> bool:
+    if req.peer not in (ANY_SOURCE, msg.src_rank):
+        return False
+    tag = msg.meta["tag"]
+    return req.tag in (ANY_TAG, tag)
+
+
+class MatchingEngine:
+    """Per-rank posted/unexpected queues."""
+
+    __slots__ = ("posted", "unexpected")
+
+    def __init__(self) -> None:
+        self.posted: Deque[Request] = deque()
+        self.unexpected: Deque[Message] = deque()
+
+    # -- receiver side -------------------------------------------------
+    def post_recv(self, req: Request) -> Optional[Message]:
+        """Try to satisfy ``req`` from the unexpected queue; if impossible,
+        post it. Returns the matched message, if any."""
+        for i, msg in enumerate(self.unexpected):
+            if _req_matches_msg(req, msg):
+                del self.unexpected[i]
+                return msg
+        self.posted.append(req)
+        return None
+
+    # -- network side ----------------------------------------------------
+    def incoming(self, msg: Message) -> Optional[Request]:
+        """Try to match an arriving first-contact message (eager data or
+        rendezvous RTS) against posted receives; otherwise buffer it."""
+        for i, req in enumerate(self.posted):
+            if _req_matches_msg(req, msg):
+                del self.posted[i]
+                return req
+        self.unexpected.append(msg)
+        return None
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def posted_depth(self) -> int:
+        return len(self.posted)
+
+    @property
+    def unexpected_depth(self) -> int:
+        return len(self.unexpected)

@@ -1,0 +1,102 @@
+"""MPI request objects.
+
+A :class:`Request` tracks one non-blocking operation. Internally completion
+is represented by a sim :class:`~repro.sim.events.Event` so blocking waiters
+(the MPI-only variants) can suspend on it, while pollers (TAMPI) cheaply
+check the :attr:`done` flag — mirroring how real completion is observable
+both from ``MPI_Wait`` and ``MPI_Test*``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.mpi.errors import MPIError
+
+_req_ids = itertools.count()
+
+
+class RequestState(enum.Enum):
+    PENDING = "pending"
+    #: rendezvous send waiting for the receiver's CTS
+    HANDSHAKE = "handshake"
+    #: data in flight / local completion pending
+    IN_FLIGHT = "in_flight"
+    DONE = "done"
+
+
+class Request:
+    """Handle for a non-blocking point-to-point operation."""
+
+    __slots__ = (
+        "uid",
+        "engine",
+        "kind",
+        "owner",
+        "peer",
+        "tag",
+        "buf",
+        "nbytes",
+        "state",
+        "event",
+        "completed_at",
+        "_payload",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        kind: str,
+        owner: int,
+        peer: int,
+        tag: int,
+        buf: Optional[np.ndarray],
+        nbytes: int,
+    ):
+        if kind not in ("send", "recv"):
+            raise MPIError(f"bad request kind {kind!r}")
+        self.uid = next(_req_ids)
+        self.engine = engine
+        self.kind = kind
+        self.owner = owner
+        self.peer = peer
+        self.tag = tag
+        self.buf = buf
+        self.nbytes = nbytes
+        self.state = RequestState.PENDING
+        self.event = Event(engine)
+        self.completed_at: Optional[float] = None
+        #: eager sends stash their buffered copy here until matched
+        self._payload: Optional[np.ndarray] = None
+
+    @property
+    def done(self) -> bool:
+        return self.state is RequestState.DONE
+
+    def complete_at(self, when: float) -> None:
+        """Mark the request complete at absolute sim time ``when`` (>= now)."""
+        if self.state is RequestState.DONE:
+            raise MPIError(f"request {self} completed twice")
+        delay = when - self.engine.now
+        if delay < 0:
+            delay = 0.0
+        self.state = RequestState.IN_FLIGHT
+        self.completed_at = self.engine.now + delay
+
+        def _finish(_ev: Event) -> None:
+            self.state = RequestState.DONE
+
+        self.event.add_callback(_finish)
+        self.event.succeed(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Request #{self.uid} {self.kind} r{self.owner}<->r{self.peer} "
+            f"tag={self.tag} {self.nbytes}B {self.state.value}>"
+        )

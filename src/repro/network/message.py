@@ -1,0 +1,45 @@
+"""Network messages.
+
+A :class:`Message` is the unit the cluster transports between ranks. The
+``protocol`` string routes delivery to the substrate endpoint registered for
+``(dst_rank, protocol)`` — ``"mpi"`` or ``"gaspi"`` in this code base. The
+``kind`` string is substrate-internal (e.g. ``"eager"``, ``"rts"``,
+``"write_notify"``).
+
+``payload`` may carry a numpy array (actual bytes being moved — the
+simulation really copies data so numerical results are checkable) or a small
+control tuple; ``nbytes`` is what the *wire* sees and is specified
+separately because control messages (CTS, acks, notifications) are
+metadata-sized regardless of their Python representation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    src_rank: int
+    dst_rank: int
+    protocol: str
+    kind: str
+    nbytes: int
+    payload: Any = None
+    #: substrate-specific routing metadata (tags, segment ids, queue ids…)
+    meta: dict = field(default_factory=dict)
+    #: unique id, handy in traces
+    uid: int = field(default_factory=lambda: next(_msg_ids))
+    #: stamped by the cluster at injection/delivery
+    injected_at: float = 0.0
+    delivered_at: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Message #{self.uid} {self.protocol}.{self.kind} "
+            f"{self.src_rank}->{self.dst_rank} {self.nbytes}B>"
+        )

@@ -1,0 +1,220 @@
+"""Cluster topology and message transport.
+
+The cluster is a flat set of nodes on a full-bisection fabric (both machines
+in the paper are fat trees with full bisection at the scales used). Each
+node has one NIC modelled as two FIFO :class:`~repro.sim.serial.SerialDevice`
+channels (egress, ingress). A remote message experiences::
+
+    depart  = egress grant (serialization at src NIC)
+    arrive  = depart.end + latency (+ jitter)
+    deliver = ingress grant at dst NIC, FIFO per (src node, dst node)
+
+Node-local messages bypass the NIC and use the shared-memory latency and
+copy bandwidth.
+
+Delivery order is forced to be monotone per (src_rank, dst_rank) even under
+jitter — a strictly stronger guarantee than GASPI's per-(queue, target)
+ordering, and what real fabrics provide per virtual channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.serial import SerialDevice
+from repro.network.fabric import Fabric
+from repro.network.message import Message
+
+DeliveryHandler = Callable[[Message], None]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transport statistics (per cluster)."""
+
+    messages: int = 0
+    control_messages: int = 0
+    bytes: int = 0
+    intra_messages: int = 0
+    total_transit_time: float = 0.0
+
+    def mean_transit(self) -> float:
+        return self.total_transit_time / self.messages if self.messages else 0.0
+
+
+class Node:
+    """A compute node: identity plus its NIC serialization state."""
+
+    __slots__ = ("node_id", "egress", "ingress")
+
+    def __init__(self, engine: Engine, node_id: int):
+        self.node_id = node_id
+        self.egress = SerialDevice(engine, f"node{node_id}.egress")
+        self.ingress = SerialDevice(engine, f"node{node_id}.ingress")
+
+
+class Cluster:
+    """Nodes + rank placement + message transport.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine.
+    n_nodes:
+        Number of compute nodes.
+    fabric:
+        The interconnect model.
+    rng:
+        Seeded generator used for latency jitter; ``None`` disables jitter
+        regardless of the fabric's jitter parameters.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        n_nodes: int,
+        fabric: Fabric,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.engine = engine
+        self.fabric = fabric
+        self.rng = rng
+        self.nodes: List[Node] = [Node(engine, i) for i in range(n_nodes)]
+        self.stats = NetworkStats()
+        self._rank_node: Dict[int, int] = {}
+        self._endpoints: Dict[Tuple[int, str], DeliveryHandler] = {}
+        # last scheduled delivery time per (src_rank, dst_rank): FIFO guard
+        self._channel_clock: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def place_rank(self, rank: int, node_id: int) -> None:
+        if not 0 <= node_id < len(self.nodes):
+            raise ValueError(f"node {node_id} out of range")
+        if rank in self._rank_node:
+            raise SimulationError(f"rank {rank} already placed")
+        self._rank_node[rank] = node_id
+
+    def place_ranks_block(self, n_ranks: int, ranks_per_node: int) -> None:
+        """Place ranks 0..n_ranks-1 in contiguous blocks of
+        ``ranks_per_node`` per node (the paper's layout on both machines)."""
+        if n_ranks > len(self.nodes) * ranks_per_node:
+            raise ValueError(
+                f"{n_ranks} ranks do not fit on {len(self.nodes)} nodes "
+                f"at {ranks_per_node}/node"
+            )
+        for r in range(n_ranks):
+            self.place_rank(r, r // ranks_per_node)
+
+    def node_of(self, rank: int) -> int:
+        try:
+            return self._rank_node[rank]
+        except KeyError:
+            raise SimulationError(f"rank {rank} was never placed") from None
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self._rank_node)
+
+    def ranks_on_node(self, node_id: int) -> List[int]:
+        return sorted(r for r, n in self._rank_node.items() if n == node_id)
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def register_endpoint(self, rank: int, protocol: str, handler: DeliveryHandler) -> None:
+        key = (rank, protocol)
+        if key in self._endpoints:
+            raise SimulationError(f"endpoint {key} registered twice")
+        self._endpoints[key] = handler
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def send(self, msg: Message, depart_delay: float = 0.0) -> float:
+        """Inject ``msg``; returns the *local completion* time, i.e. when the
+        source buffer has fully left the source (NIC serialization done for
+        remote messages, copy done for local ones).
+
+        ``depart_delay`` postpones injection past "now" — used by substrates
+        whose (virtual) lock wait delays the actual hardware doorbell.
+        """
+        eng = self.engine
+        now = eng.now + depart_delay
+        msg.injected_at = now
+        src_node = self.node_of(msg.src_rank)
+        dst_node = self.node_of(msg.dst_rank)
+        intra = src_node == dst_node
+        fab = self.fabric
+
+        if intra:
+            copy_time = fab.serialization(msg.nbytes, intra=True)
+            local_done = now + copy_time
+            arrive = local_done + fab.base_latency(intra=True)
+        else:
+            bw_factor = fab.cost(f"{msg.protocol}.bw_factor", 1.0)
+            ser = fab.serialization(msg.nbytes, intra=False) / bw_factor
+            grant = self.nodes[src_node].egress.use(ser, at=now)
+            local_done = grant.end
+            latency = (
+                fab.base_latency(intra=False)
+                + fab.cost(f"{msg.protocol}.lat_extra", 0.0)
+                + self._jitter(msg.protocol)
+            )
+            wire_arrive = grant.end + latency
+            in_grant = self.nodes[dst_node].ingress.use(ser, at=wire_arrive)
+            arrive = in_grant.end
+
+        # FIFO per (src_rank, dst_rank): never deliver before an earlier send.
+        chan = (msg.src_rank, msg.dst_rank)
+        floor = self._channel_clock.get(chan, 0.0)
+        if arrive < floor:
+            arrive = floor
+        self._channel_clock[chan] = arrive
+
+        st = self.stats
+        st.messages += 1
+        st.bytes += msg.nbytes
+        if msg.nbytes <= 64:
+            st.control_messages += 1
+        if intra:
+            st.intra_messages += 1
+        st.total_transit_time += arrive - now
+
+        ev = eng.event()
+        ev.add_callback(lambda _ev: self._deliver(msg))
+        ev.succeed(delay=arrive - eng.now)
+        return local_done
+
+    def _deliver(self, msg: Message) -> None:
+        msg.delivered_at = self.engine.now
+        handler = self._endpoints.get((msg.dst_rank, msg.protocol))
+        if handler is None:
+            raise SimulationError(
+                f"no {msg.protocol!r} endpoint at rank {msg.dst_rank} for {msg!r}"
+            )
+        handler(msg)
+
+    def _jitter(self, protocol: str) -> float:
+        if self.rng is None:
+            return 0.0
+        rel = self.fabric.cost(f"{protocol}.jitter", 0.0)
+        if rel <= 0.0:
+            return 0.0
+        # Lognormal noise scaled to the base latency; mean ≈ 0 shift so the
+        # configured latency stays the central value.
+        base = self.fabric.latency
+        sigma = rel
+        sample = self.rng.lognormal(mean=0.0, sigma=sigma)
+        return base * (sample - 1.0) if sample > 1.0 else 0.0

@@ -1,0 +1,179 @@
+"""The discrete-event engine.
+
+A single :class:`Engine` owns simulated time and a binary-heap event queue.
+Everything that "happens" in the simulated cluster is an
+:class:`~repro.sim.events.Event` scheduled on this queue.
+
+Ordering is the deterministic triple ``(time, priority, seq)``: ``seq`` is a
+monotonically increasing insertion counter, so events scheduled for the same
+instant fire in insertion order unless an explicit priority says otherwise.
+Lower priority values fire first.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.events import Event
+    from repro.sim.process import Process
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (not for model errors)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: Priority used by ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for bookkeeping that must run before normal events at an instant.
+PRIORITY_URGENT = -1
+
+
+class Engine:
+    """Deterministic discrete-event simulation engine.
+
+    Parameters
+    ----------
+    trace:
+        Optional callable invoked as ``trace(time, event)`` just before each
+        event fires; used by tests and debugging tools.
+    """
+
+    def __init__(self, trace: Optional[Callable[[float, "Event"], None]] = None):
+        self._now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._trace = trace
+        self._running = False
+        self._event_count = 0
+        #: CPU-charge sink of the code currently executing (see
+        #: :mod:`repro.sim.context`); managed by executors, read by substrates.
+        self.current_context = None
+
+    # ------------------------------------------------------------------
+    # time & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Number of events fired so far (diagnostics / budget guards)."""
+        return self._event_count
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, event: "Event", delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> None:
+        """Arrange for ``event`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    # ------------------------------------------------------------------
+    # factories (sugar used throughout the code base)
+    # ------------------------------------------------------------------
+    def event(self) -> "Event":
+        from repro.sim.events import Event
+
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> "Event":
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable["Event"]) -> "Event":
+        from repro.sim.events import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable["Event"]) -> "Event":
+        from repro.sim.events import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Fire the single next event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        time, _prio, _seq, event = heapq.heappop(self._heap)
+        if time < self._now:
+            raise SimulationError("event queue time went backwards")
+        self._now = time
+        self._event_count += 1
+        if self._trace is not None:
+            self._trace(time, event)
+        event._fire()
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or the event
+        budget ``max_events`` is exhausted.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                next_time = self._heap[0][0]
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"event budget exhausted ({max_events} events) at t={self._now:.6g}s"
+                    )
+                self.step()
+                fired += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_complete(self, process: "Process", max_events: Optional[int] = None) -> object:
+        """Run until ``process`` terminates; return its value or re-raise its
+        failure. Raises if the queue drains while the process is still alive
+        (i.e. the model deadlocked)."""
+        fired = 0
+        while not process.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: event queue drained at t={self._now:.6g}s "
+                    f"with process {process!r} still pending"
+                )
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(f"event budget exhausted ({max_events} events)")
+            self.step()
+            fired += 1
+        if not process.ok:
+            raise process.value  # type: ignore[misc]
+        return process.value

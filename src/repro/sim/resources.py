@@ -1,0 +1,188 @@
+"""Instrumented shared resources for simulated contention.
+
+:class:`Mutex` is the centrepiece: the evaluation reproduces the paper's
+§VI-C claim that TAMPI's fine-grained performance collapses because of lock
+wait inside ``MPI_THREAD_MULTIPLE`` implementations. The mutex therefore
+records aggregate statistics (total wait time, total hold time, acquisition
+count, maximum queue depth) that the harness reads back.
+
+:class:`Resource` generalises to counted capacity (e.g. NIC DMA engines) and
+:class:`Store` is a FIFO hand-off channel used by network endpoints.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import Event
+
+
+@dataclass
+class LockStats:
+    """Aggregate contention statistics for a :class:`Mutex`/:class:`Resource`."""
+
+    acquisitions: int = 0
+    contended_acquisitions: int = 0
+    total_wait_time: float = 0.0
+    total_hold_time: float = 0.0
+    max_queue_depth: int = 0
+
+    def merged_with(self, other: "LockStats") -> "LockStats":
+        return LockStats(
+            acquisitions=self.acquisitions + other.acquisitions,
+            contended_acquisitions=self.contended_acquisitions + other.contended_acquisitions,
+            total_wait_time=self.total_wait_time + other.total_wait_time,
+            total_hold_time=self.total_hold_time + other.total_hold_time,
+            max_queue_depth=max(self.max_queue_depth, other.max_queue_depth),
+        )
+
+
+class Mutex:
+    """A FIFO mutual-exclusion lock with wait/hold accounting.
+
+    Usage from a process::
+
+        yield mutex.acquire()
+        try:
+            yield engine.timeout(work)
+        finally:
+            mutex.release()
+    """
+
+    def __init__(self, engine: Engine, name: str = "mutex"):
+        self.engine = engine
+        self.name = name
+        self.stats = LockStats()
+        self._locked = False
+        self._waiters: Deque[tuple[Event, float]] = deque()
+        self._acquired_at: float = 0.0
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that fires when the caller holds the lock."""
+        ev = Event(self.engine)
+        if not self._locked:
+            self._locked = True
+            self._acquired_at = self.engine.now
+            self.stats.acquisitions += 1
+            ev.succeed()
+        else:
+            self._waiters.append((ev, self.engine.now))
+            self.stats.contended_acquisitions += 1
+            self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._waiters))
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True on success."""
+        if self._locked:
+            return False
+        self._locked = True
+        self._acquired_at = self.engine.now
+        self.stats.acquisitions += 1
+        return True
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimulationError(f"release of unheld mutex {self.name!r}")
+        now = self.engine.now
+        self.stats.total_hold_time += now - self._acquired_at
+        if self._waiters:
+            ev, enqueued_at = self._waiters.popleft()
+            self.stats.acquisitions += 1
+            self.stats.total_wait_time += now - enqueued_at
+            self._acquired_at = now
+            ev.succeed()
+        else:
+            self._locked = False
+
+
+class Resource:
+    """Counted-capacity resource with FIFO admission (a semaphore)."""
+
+    def __init__(self, engine: Engine, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self.stats = LockStats()
+        self._in_use = 0
+        self._waiters: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        ev = Event(self.engine)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.stats.acquisitions += 1
+            ev.succeed()
+        else:
+            self._waiters.append((ev, self.engine.now))
+            self.stats.contended_acquisitions += 1
+            self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._waiters))
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            ev, enqueued_at = self._waiters.popleft()
+            self.stats.acquisitions += 1
+            self.stats.total_wait_time += self.engine.now - enqueued_at
+            ev.succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO hand-off channel between processes.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the next
+    item (immediately if one is queued). Items are delivered strictly in
+    arrival order — the network layer relies on this for GASPI's
+    per-(queue, target) ordering guarantee.
+    """
+
+    def __init__(self, engine: Engine, name: str = "store"):
+        self.engine = engine
+        self.name = name
+        self._items: Deque[object] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: object) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.engine)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def peek_all(self) -> list:
+        """Snapshot of queued items (diagnostics only)."""
+        return list(self._items)

@@ -1,0 +1,32 @@
+"""Seeded randomness helpers.
+
+All stochastic model components (network jitter, AMR object trajectories,
+load-balance perturbations) draw from ``numpy.random.Generator`` instances
+derived from a single experiment seed, so every figure in EXPERIMENTS.md is
+exactly re-runnable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+import numpy as np
+
+SeedSequence = np.random.SeedSequence
+
+
+def derive_rng(seed: Union[int, np.random.SeedSequence], *path: object) -> np.random.Generator:
+    """Derive an independent, reproducible RNG from ``seed`` and a label path.
+
+    ``path`` components (e.g. ``("rank", 3, "jitter")``) are hashed into the
+    spawn key, so the same logical component gets the same stream regardless
+    of construction order — important because the DES constructs ranks lazily.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        base_entropy = seed.entropy
+    else:
+        base_entropy = int(seed)
+    digest = hashlib.sha256(repr((base_entropy, path)).encode()).digest()
+    child = np.random.SeedSequence(int.from_bytes(digest[:8], "little"))
+    return np.random.default_rng(child)

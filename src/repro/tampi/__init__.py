@@ -1,0 +1,8 @@
+"""Task-Aware MPI (TAMPI) — the paper's two-sided baseline library.
+
+See :class:`repro.tampi.library.TAMPI`.
+"""
+
+from repro.tampi.library import TAMPI
+
+__all__ = ["TAMPI"]

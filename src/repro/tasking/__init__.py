@@ -1,0 +1,48 @@
+"""An OmpSs-2-style task runtime on the DES.
+
+Implements the tasking semantics the paper's libraries require:
+
+* **Region data dependencies** — ``in``/``out``/``inout`` annotations on
+  hashable region keys, with readers–writers ordering exactly as OpenMP /
+  OmpSs-2 define it (paper §II-C).
+* **Task external events API** — a task that finished executing is held in
+  the *finished* state until its bound events are fulfilled; only then it
+  completes and releases its dependencies (Fig. 1 of the paper). This is
+  the integration point both TAMPI and TAGASPI use.
+* **The ``onready`` clause** (paper §V-A) — a callback invoked once, after
+  a task's dependencies are satisfied and before its body runs; it may
+  register *execution-delaying* events (e.g. wait for a remote ack
+  notification), turning remote conditions into scheduler-visible
+  dependencies without an extra task.
+* **``wait_for_us`` + spawned polling tasks** (paper §V-B) — a task can
+  block for a given number of microseconds, *yielding its core*; library
+  polling services are spawned as independent tasks built on it, each with
+  its own polling period.
+
+Workers are simulated cores: each rank's runtime owns ``n_cores`` worker
+processes pulling from a two-level ready queue (resumed/polling tasks
+first, then FIFO). Task bodies are plain callables or generators; CPU
+consumed by substrate calls inside a body is charged lazily and realized
+as core-busy time by the worker.
+"""
+
+from repro.tasking.task import Task, TaskState, Sleep, BlockOn
+from repro.tasking.dependencies import DependencyTracker, In, Out, InOut, dep
+from repro.tasking.runtime import Runtime, RuntimeConfig, TaskingError
+from repro.tasking.polling import spawn_polling_service
+
+__all__ = [
+    "Task",
+    "TaskState",
+    "Sleep",
+    "BlockOn",
+    "DependencyTracker",
+    "In",
+    "Out",
+    "InOut",
+    "dep",
+    "Runtime",
+    "RuntimeConfig",
+    "TaskingError",
+    "spawn_polling_service",
+]

@@ -1,0 +1,124 @@
+"""Region dependency tracking.
+
+Dependencies are declared on hashable *region keys* — typically tuples like
+``("block", i, j)`` or ``("notified", peer)`` — with an access mode:
+
+* ``In(key)`` — read access; ordered after the last writer.
+* ``Out(key)`` / ``InOut(key)`` — write access; ordered after the last
+  writer *and* every reader since (readers–writers semantics, the same
+  ordering ``depend(in/out/inout:)`` gives in OpenMP/OmpSs-2).
+
+This is the list-item model (exact key equality), which is how the paper's
+applications use dependencies (whole blocks / whole halo buffers /
+sentinel variables like ``notified``). Partial-overlap region analysis is
+out of scope (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tasking.task import Task
+
+MODE_IN = "in"
+MODE_OUT = "out"
+MODE_INOUT = "inout"
+_WRITE_MODES = (MODE_OUT, MODE_INOUT)
+_ALL_MODES = (MODE_IN, MODE_OUT, MODE_INOUT)
+
+
+@dataclass(frozen=True)
+class Dep:
+    mode: str
+    key: Hashable
+
+    def __post_init__(self):
+        if self.mode not in _ALL_MODES:
+            raise ValueError(f"bad dependency mode {self.mode!r}")
+
+
+def In(key: Hashable) -> Dep:
+    """Read dependency on ``key``."""
+    return Dep(MODE_IN, key)
+
+
+def Out(key: Hashable) -> Dep:
+    """Write dependency on ``key``."""
+    return Dep(MODE_OUT, key)
+
+
+def InOut(key: Hashable) -> Dep:
+    """Read-write dependency on ``key``."""
+    return Dep(MODE_INOUT, key)
+
+
+def dep(mode: str, key: Hashable) -> Dep:
+    """Generic constructor, e.g. ``dep("in", ("block", 3))``."""
+    return Dep(mode, key)
+
+
+class _RegionState:
+    __slots__ = ("last_writer", "readers")
+
+    def __init__(self) -> None:
+        self.last_writer = None
+        self.readers: List["Task"] = []
+
+
+class DependencyTracker:
+    """Per-runtime readers–writers bookkeeping over region keys."""
+
+    def __init__(self) -> None:
+        self._regions: Dict[Hashable, _RegionState] = {}
+        self.edges = 0
+
+    def register(self, task: "Task") -> int:
+        """Record ``task``'s accesses; returns the number of predecessor
+        edges added (0 means the task is immediately ready)."""
+        from repro.tasking.task import TaskState
+
+        added = 0
+        for d in task.deps:
+            region = self._regions.get(d.key)
+            if region is None:
+                region = self._regions[d.key] = _RegionState()
+            if d.mode == MODE_IN:
+                w = region.last_writer
+                if w is not None and w is not task and w.state is not TaskState.COMPLETED:
+                    w.successors.append(task)
+                    added += 1
+                region.readers.append(task)
+            else:  # out / inout: after last writer and all readers
+                w = region.last_writer
+                if w is not None and w is not task and w.state is not TaskState.COMPLETED:
+                    w.successors.append(task)
+                    added += 1
+                for r in region.readers:
+                    if r is not task and r.state is not TaskState.COMPLETED:
+                        r.successors.append(task)
+                        added += 1
+                region.last_writer = task
+                region.readers = []
+                # inout also reads, but as the new last writer it already
+                # orders every later access; no reader entry needed
+        self.edges += added
+        return added
+
+    def region_count(self) -> int:
+        return len(self._regions)
+
+    def prune(self) -> None:
+        """Drop regions whose entire history has completed (memory bound
+        for long-running simulations)."""
+        from repro.tasking.task import TaskState
+
+        dead = [
+            k
+            for k, st in self._regions.items()
+            if (st.last_writer is None or st.last_writer.state is TaskState.COMPLETED)
+            and all(r.state is TaskState.COMPLETED for r in st.readers)
+        ]
+        for k in dead:
+            del self._regions[k]

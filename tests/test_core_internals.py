@@ -1,0 +1,106 @@
+"""Unit tests for TAGASPI's internal machinery (§IV-D): the MPSC queue,
+the pending-notification pool, and execution-context plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.mpsc import MPSCQueue, PUSH_COST, DRAIN_COST
+from repro.core.pool import ObjectPool, PendingNotification
+from repro.sim import Engine
+from repro.sim.context import AccumulatingSink, charge_current
+
+
+class TestMPSCQueue:
+    def test_fifo_drain(self):
+        q = MPSCQueue(Engine())
+        for i in range(5):
+            q.push(i)
+        assert q.drain() == [0, 1, 2, 3, 4]
+        assert len(q) == 0
+
+    def test_drain_empty(self):
+        q = MPSCQueue(Engine())
+        assert q.drain() == []
+        assert q.drains == 1
+
+    def test_costs_charged_to_current_context(self):
+        eng = Engine()
+        sink = AccumulatingSink()
+        eng.current_context = sink
+        q = MPSCQueue(eng)
+        q.push("a")
+        q.push("b")
+        q.drain()
+        assert sink.pending == pytest.approx(2 * PUSH_COST + DRAIN_COST)
+
+    def test_stats(self):
+        q = MPSCQueue(Engine())
+        q.push(1)
+        q.drain()
+        q.push(2)
+        assert q.pushes == 2 and q.drains == 1 and len(q) == 1
+
+
+class TestObjectPool:
+    def test_reuse_before_allocation(self):
+        pool = ObjectPool(Engine(), preallocate=2)
+        a = pool.acquire()
+        b = pool.acquire()
+        assert pool.reused == 2 and pool.allocated == 0
+        c = pool.acquire()
+        assert pool.allocated == 1
+
+    def test_release_returns_to_freelist(self):
+        pool = ObjectPool(Engine(), preallocate=1)
+        a = pool.acquire()
+        pool.release(a)
+        b = pool.acquire()
+        assert b is a
+
+    def test_release_clears_references(self):
+        pool = ObjectPool(Engine(), preallocate=1)
+        obj = pool.acquire().assign(1, 2, [0], task=object(), is_pre=True)
+        pool.release(obj)
+        assert obj.task is None and obj.out is None
+
+    def test_assign_round_trip(self):
+        obj = PendingNotification().assign(3, 7, [0], "t", False)
+        assert (obj.seg_id, obj.notif_id, obj.is_pre) == (3, 7, False)
+
+
+class TestExecutionContext:
+    def test_charge_without_context_is_dropped(self):
+        eng = Engine()
+        charge_current(eng, 1.0)  # must not raise
+
+    def test_negative_or_zero_charge_ignored(self):
+        eng = Engine()
+        sink = AccumulatingSink()
+        eng.current_context = sink
+        charge_current(eng, 0.0)
+        charge_current(eng, -1.0)
+        assert sink.pending == 0.0
+
+    def test_take_resets(self):
+        sink = AccumulatingSink()
+        sink.charge(2.0)
+        assert sink.take() == 2.0
+        assert sink.take() == 0.0
+
+    def test_process_context_is_installed_per_step(self):
+        eng = Engine()
+        sink_a, sink_b = AccumulatingSink(), AccumulatingSink()
+        seen = []
+
+        def body(mine):
+            seen.append(eng.current_context is mine)
+            yield eng.timeout(1.0)
+            seen.append(eng.current_context is mine)
+
+        pa = eng.process(body(sink_a))
+        pa.context = sink_a
+        pb = eng.process(body(sink_b))
+        pb.context = sink_b
+        eng.run()
+        assert seen == [True, True, True, True]
+        assert eng.current_context is None  # restored after every step

@@ -1,0 +1,32 @@
+"""Smoke tests: the example programs run and their internal assertions
+hold (each example verifies its own numerics)."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/producer_consumer.py",
+    "examples/stencil_dsl.py",
+    "examples/amr_simulation.py",
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES)
+def test_example_runs(path, capsys):
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path} produced no output"
+
+
+def test_streaming_example_verify_portion():
+    # the full example includes a multi-minute sweep; the verification
+    # half is what the test suite checks
+    sys.path.insert(0, "examples")
+    try:
+        import streaming_pipeline
+        streaming_pipeline.verify()
+    finally:
+        sys.path.pop(0)

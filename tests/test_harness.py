@@ -1,0 +1,126 @@
+"""Unit tests for the harness: specs, job assembly, metrics, reports."""
+
+import pytest
+
+from repro.harness import (
+    JobSpec,
+    MARENOSTRUM4,
+    CTE_AMD,
+    VariantError,
+    VariantResult,
+    build_job,
+    format_series,
+    format_table,
+    parallel_efficiency,
+    speedup,
+)
+from repro.tasking import RuntimeConfig
+
+
+class TestJobSpec:
+    def test_mpi_variant_forces_rank_per_core(self):
+        spec = JobSpec(machine=MARENOSTRUM4, n_nodes=2, variant="mpi")
+        assert spec.ranks_per_node == MARENOSTRUM4.cores_per_node
+        assert spec.n_ranks == 16
+        assert not spec.is_hybrid
+
+    def test_hybrid_defaults_to_one_rank_per_node(self):
+        spec = JobSpec(machine=MARENOSTRUM4, n_nodes=4, variant="tagaspi")
+        assert spec.n_ranks == 4
+        assert spec.cores_per_rank == 8
+
+    def test_two_ranks_per_node(self):
+        spec = JobSpec(machine=MARENOSTRUM4, n_nodes=2, variant="tampi",
+                       ranks_per_node=2)
+        assert spec.n_ranks == 4 and spec.cores_per_rank == 4
+
+    def test_bad_variant(self):
+        with pytest.raises(VariantError):
+            JobSpec(machine=MARENOSTRUM4, n_nodes=1, variant="openshmem")
+
+    def test_nondividing_ranks_per_node(self):
+        with pytest.raises(VariantError):
+            JobSpec(machine=MARENOSTRUM4, n_nodes=1, variant="tampi",
+                    ranks_per_node=3)
+
+    def test_runtime_config_core_mismatch(self):
+        spec = JobSpec(machine=MARENOSTRUM4, n_nodes=1, variant="tampi",
+                       runtime_config=RuntimeConfig(n_cores=2))
+        with pytest.raises(VariantError):
+            build_job(spec)
+
+
+class TestJobAssembly:
+    def test_mpi_job_has_drivers_only(self):
+        job = build_job(JobSpec(machine=MARENOSTRUM4, n_nodes=1, variant="mpi"))
+        assert job.mpi is not None and len(job.drivers) == 8
+        assert job.gaspi is None and not job.runtimes
+
+    def test_tampi_job(self):
+        job = build_job(JobSpec(machine=MARENOSTRUM4, n_nodes=2, variant="tampi"))
+        assert len(job.runtimes) == 2 and len(job.tampi) == 2
+        assert job.gaspi is None
+
+    def test_tagaspi_job_has_both_libraries(self):
+        job = build_job(JobSpec(machine=MARENOSTRUM4, n_nodes=2, variant="tagaspi"))
+        assert len(job.tagaspi) == 2 and len(job.tampi) == 2  # §VI-B mixing
+        assert job.gaspi is not None and job.mpi is not None
+
+    def test_app_rng_deterministic(self):
+        job1 = build_job(JobSpec(machine=MARENOSTRUM4, n_nodes=1, variant="mpi", seed=4))
+        job2 = build_job(JobSpec(machine=MARENOSTRUM4, n_nodes=1, variant="mpi", seed=4))
+        assert job1.app_rng("x").random() == job2.app_rng("x").random()
+
+
+class TestMachines:
+    def test_kernel_time(self):
+        assert MARENOSTRUM4.kernel_time("gs_update", 100) == pytest.approx(
+            100 * 4.4e-9)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            MARENOSTRUM4.kernel_time("fft", 1)
+
+    def test_with_cores(self):
+        m = CTE_AMD.with_cores(4)
+        assert m.cores_per_node == 4
+        assert m.fabric is CTE_AMD.fabric
+
+
+class TestMetrics:
+    def _res(self, variant, nodes, thr):
+        return VariantResult(variant=variant, n_nodes=nodes, throughput=thr,
+                             sim_time=1.0)
+
+    def test_speedup_vs_baseline(self):
+        base = self._res("mpi", 1, 2.0)
+        results = [self._res("tagaspi", n, 2.0 * n * 0.9) for n in (1, 2, 4)]
+        sp = speedup(results, base)
+        assert sp[4] == pytest.approx(3.6)
+
+    def test_parallel_efficiency_self_relative(self):
+        results = [self._res("tampi", 1, 2.0), self._res("tampi", 4, 6.0)]
+        eff = parallel_efficiency(results)
+        assert eff[1] == pytest.approx(1.0)
+        assert eff[4] == pytest.approx(6.0 / 8.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            speedup([self._res("x", 1, 1.0)], self._res("mpi", 1, 0.0))
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            VariantResult(variant="x", n_nodes=1, throughput=-1.0, sim_time=1.0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table("T", ["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_format_series_missing_points(self):
+        out = format_series("S", "n", {"v1": {1: 1.0}, "v2": {2: 2.0}}, [1, 2])
+        assert "-" in out

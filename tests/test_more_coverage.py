@@ -1,0 +1,95 @@
+"""Additional distinct-behaviour coverage: geometry clipping, parameter
+validation, figure-of-merit accounting, and engine guards."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps.gauss_seidel import GSParams, gs_reference, run_gauss_seidel
+from repro.apps.gauss_seidel.common import initial_grid
+from repro.apps.miniamr.mesh import AMRParams
+from repro.apps.streaming import StreamingParams
+from repro.harness import JobSpec, MARENOSTRUM4
+from repro.sim import Engine, SimulationError
+
+MACH4 = MARENOSTRUM4.with_cores(4)
+
+
+class TestGSGeometry:
+    def test_clipped_block_rows_still_exact(self):
+        """local_rows not divisible by block_size: the last block row is
+        short; numerics must be unaffected."""
+        params = GSParams(rows=44, cols=16, timesteps=3, block_size=8)
+        ref = gs_reference(params, initial_grid(params))
+        spec = JobSpec(machine=MACH4, n_nodes=2, variant="tagaspi",
+                       poll_period_us=50)
+        res = run_gauss_seidel(spec, params, collect_grid=True)
+        assert np.array_equal(res.extra["grid"], ref)
+
+    def test_slow_polling_still_correct(self):
+        """A very slow poller delays completion but never loses it."""
+        params = GSParams(rows=24, cols=16, timesteps=2, block_size=8)
+        ref = gs_reference(params, initial_grid(params))
+        fast = run_gauss_seidel(
+            JobSpec(machine=MACH4, n_nodes=2, variant="tagaspi",
+                    poll_period_us=10), params, collect_grid=True)
+        slow = run_gauss_seidel(
+            JobSpec(machine=MACH4, n_nodes=2, variant="tagaspi",
+                    poll_period_us=2000), params, collect_grid=True)
+        assert np.array_equal(fast.extra["grid"], ref)
+        assert np.array_equal(slow.extra["grid"], ref)
+        assert slow.sim_time > fast.sim_time
+
+    def test_gupdates_accounting(self):
+        params = GSParams(rows=10, cols=10, timesteps=3, block_size=5)
+        assert params.total_updates == 300
+        assert params.gupdates(1.0) == pytest.approx(300 / 1e9)
+
+
+class TestParamsValidation:
+    def test_amr_params_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            AMRParams(timesteps=0)
+        with pytest.raises(ValueError):
+            AMRParams(max_level=-1)
+
+    def test_amr_derived_quantities(self):
+        p = AMRParams(variables=10, cell_dim=4, timesteps=9, refine_every=4)
+        assert p.n_epochs == 3
+        assert p.face_bytes() == 10 * 16 * 8
+        assert p.block_bytes() == 10 * 64 * 8
+        assert p.cell_updates_per_block() == 640
+
+    def test_streaming_params_blocks(self):
+        p = StreamingParams(chunks=2, elements_per_chunk=128, block_size=32)
+        assert p.blocks_per_chunk == 4
+        assert p.gelements(2.0) == pytest.approx(2 * 128 / 2.0 / 1e9)
+        with pytest.raises(ValueError):
+            StreamingParams(chunks=0, elements_per_chunk=8, block_size=8)
+
+
+class TestEngineGuards:
+    def test_reentrant_run_rejected(self):
+        eng = Engine()
+
+        def body():
+            with pytest.raises(SimulationError, match="re-entrant"):
+                eng.run()
+            yield eng.timeout(0.1)
+
+        eng.process(body())
+        eng.run()
+
+    def test_peek_on_empty_queue(self):
+        assert Engine().peek() == float("inf")
+
+    def test_run_until_complete_reports_value_of_failed_process(self):
+        eng = Engine()
+
+        def bad():
+            yield eng.timeout(0.1)
+            raise KeyError("boom")
+
+        with pytest.raises(KeyError):
+            eng.run_until_complete(eng.process(bad()))

@@ -1,0 +1,150 @@
+"""Unit tests for one-sided MPI (windows, put/get, flush, fence)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Engine
+from repro.network import Cluster, OMNIPATH
+from repro.mpi import MPIContext, MPIError, Window
+from repro.mpi.comm import MPIProcDriver
+from tests.conftest import run_all
+
+
+def make_win(n_ranks=2, size=16):
+    eng = Engine()
+    cl = Cluster(eng, n_ranks, OMNIPATH)
+    cl.place_ranks_block(n_ranks, 1)
+    mpi = MPIContext(cl)
+    bufs = {r: np.zeros(size) for r in range(n_ranks)}
+    win = Window.create(mpi, bufs)
+    return eng, mpi, win, bufs
+
+
+class TestPutGetFlush:
+    def test_put_writes_target_memory(self):
+        eng, mpi, win, bufs = make_win()
+
+        def origin(drv):
+            win.put(0, np.arange(4, dtype=np.float64), target=1, offset=2)
+            yield from win.flush(0, 1)
+
+        run_all(eng, [MPIProcDriver(mpi.rank(0)).spawn(origin)])
+        assert np.array_equal(bufs[1][2:6], np.arange(4, dtype=np.float64))
+
+    def test_flush_completes_after_round_trip(self):
+        eng, mpi, win, _ = make_win()
+        t = {}
+
+        def origin(drv):
+            t0 = eng.now
+            win.put(0, np.ones(4), target=1)
+            yield from win.flush(0, 1)
+            t["flush"] = eng.now - t0
+
+        run_all(eng, [MPIProcDriver(mpi.rank(0)).spawn(origin)])
+        # at least 2x one-way latency (request there, ack back)
+        assert t["flush"] >= 2 * OMNIPATH.latency
+
+    def test_get_reads_remote_memory(self):
+        eng, mpi, win, bufs = make_win()
+        bufs[1][:] = np.arange(16)
+        out = {}
+
+        def origin(drv):
+            local = np.zeros(5)
+            yield from win.get(0, local, target=1, offset=3)
+            out["data"] = local.copy()
+
+        run_all(eng, [MPIProcDriver(mpi.rank(0)).spawn(origin)])
+        assert np.array_equal(out["data"], np.arange(3, 8, dtype=np.float64))
+
+    def test_put_overflow_rejected(self):
+        _eng, _mpi, win, _ = make_win(size=4)
+        with pytest.raises(MPIError, match="overflow"):
+            win.put(0, np.ones(8), target=1)
+
+    def test_put_to_memoryless_rank_rejected(self):
+        eng = Engine()
+        cl = Cluster(eng, 2, OMNIPATH)
+        cl.place_ranks_block(2, 1)
+        mpi = MPIContext(cl)
+        win = Window.create(mpi, {0: np.zeros(4)})  # rank 1 exposes nothing
+        with pytest.raises(MPIError, match="exposes no memory"):
+            win.put(0, np.ones(1), target=1)
+
+    def test_noncontiguous_window_buffer_rejected(self):
+        eng = Engine()
+        cl = Cluster(eng, 1, OMNIPATH)
+        cl.place_ranks_block(1, 1)
+        mpi = MPIContext(cl)
+        arr = np.zeros((4, 4))[:, 0]
+        with pytest.raises(MPIError, match="contiguous"):
+            Window.create(mpi, {0: arr})
+
+
+class TestOrderingAndFence:
+    def test_flush_acks_after_prior_puts_delivered(self):
+        eng, mpi, win, bufs = make_win()
+        seen = {}
+
+        def origin(drv):
+            for i in range(5):
+                win.put(0, np.full(2, float(i)), target=1, offset=2 * i)
+            yield from win.flush(0, 1)
+            # after flush, everything must be remotely visible
+            seen["buf"] = bufs[1].copy()
+
+        run_all(eng, [MPIProcDriver(mpi.rank(0)).spawn(origin)])
+        expect = np.repeat(np.arange(5.0), 2)
+        assert np.array_equal(seen["buf"][:10], expect)
+
+    def test_fence_acts_as_barrier(self):
+        eng, mpi, win, bufs = make_win()
+        times = {}
+
+        def r0(drv):
+            win.put(0, np.ones(1), target=1)
+            yield from win.fence(0)
+            times[0] = eng.now
+
+        def r1(drv):
+            yield eng.timeout(0.01)  # arrive late
+            yield from win.fence(1)
+            times[1] = eng.now
+
+        run_all(eng, [MPIProcDriver(mpi.rank(0)).spawn(r0),
+                      MPIProcDriver(mpi.rank(1)).spawn(r1)])
+        assert times[0] >= 0.01  # rank 0 waited for rank 1
+
+    def test_belli_notification_pattern(self):
+        """The §III pattern: Put + flush + empty two-sided send as a remote
+        notification. Verifies data is visible at the target when the
+        notification message arrives."""
+        eng, mpi, win, bufs = make_win()
+        result = {}
+
+        def origin(drv):
+            win.put(0, np.full(4, 9.0), target=1)
+            yield from win.flush(0, 1)
+            req = yield from drv.isend(None, 1, tag=99)
+            yield from drv.wait(req)
+
+        def target(drv):
+            req = yield from drv.irecv(None, 0, tag=99)
+            yield from drv.wait(req)
+            result["visible"] = bufs[1][:4].copy()
+
+        run_all(eng, [MPIProcDriver(mpi.rank(0)).spawn(origin),
+                      MPIProcDriver(mpi.rank(1)).spawn(target)])
+        assert np.array_equal(result["visible"], np.full(4, 9.0))
+
+    def test_lock_unlock_epoch(self):
+        eng, mpi, win, bufs = make_win()
+
+        def origin(drv):
+            win.lock_all(0)
+            win.put(0, np.full(2, 5.0), target=1)
+            yield from win.unlock_all(0)
+
+        run_all(eng, [MPIProcDriver(mpi.rank(0)).spawn(origin)])
+        assert np.array_equal(bufs[1][:2], [5.0, 5.0])

@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.gauss_seidel.common import gs_sweep_block, partition_rows
+from repro.apps.miniamr.mesh import AMRParams, build_mesh, make_objects
+from repro.gaspi.segments import Segment
+from repro.mpi.matching import MatchingEngine
+from repro.mpi.requests import Request
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG
+from repro.network.message import Message
+from repro.sim import Engine
+from repro.sim.serial import SerialDevice
+from repro.tasking import Runtime, RuntimeConfig, In, Out, InOut
+from tests.conftest import run_all
+
+
+class TestSerialDeviceProperties:
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 10)), min_size=1,
+                    max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_no_overlap_no_reorder(self, reqs):
+        """Grants never overlap, never reorder, and wait+hold accounting is
+        exact."""
+        eng = Engine()
+        dev = SerialDevice(eng)
+        reqs = sorted(reqs, key=lambda t: t[0])  # arrivals in time order
+        prev_end = 0.0
+        total_wait = total_hold = 0.0
+        for at, hold in reqs:
+            g = dev.use(hold, at=at)
+            assert g.start >= at
+            assert g.start >= prev_end  # FIFO, no overlap
+            assert g.end == pytest.approx(g.start + hold)
+            assert g.wait == pytest.approx(g.start - at)
+            prev_end = g.end
+            total_wait += g.wait
+            total_hold += hold
+        assert dev.stats.total_wait_time == pytest.approx(total_wait)
+        assert dev.stats.total_hold_time == pytest.approx(total_hold)
+
+
+class TestMatchingProperties:
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 3)),
+                    min_size=1, max_size=30),
+           st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_every_message_matches_exactly_one_recv(self, channels, data):
+        """For any interleaving of arrivals and posts (with per-channel
+        FIFO arrival order, as the network guarantees), all messages pair
+        up and same-(src,tag) pairs match in order."""
+        eng = Engine()
+        me = MatchingEngine()
+        tokens = data.draw(st.permutations(
+            [("msg", k) for k in range(len(channels))]
+            + [("recv", k) for k in range(len(channels))]))
+        # materialize per-channel FIFO: the k-th msg/recv token of a
+        # channel is that channel's k-th arrival/post
+        chan_list = {}
+        for src, tag in channels:
+            chan_list.setdefault((src, tag), 0)
+        msg_seq = {}
+        matched = []
+        for kind, k in tokens:
+            src, tag = channels[k]
+            if kind == "msg":
+                seq = msg_seq.get((src, tag), 0)
+                msg_seq[(src, tag)] = seq + 1
+                m = Message(src, 9, "mpi", "eager", 8, None,
+                            meta={"tag": tag, "seq": seq})
+                req = me.incoming(m)
+                if req is not None:
+                    matched.append((m, req))
+            else:
+                r = Request(eng, "recv", 9, src, tag, None, 0)
+                msg = me.post_recv(r)
+                if msg is not None:
+                    matched.append((msg, r))
+        assert len(matched) == len(channels)
+        assert me.posted_depth == 0 and me.unexpected_depth == 0
+        # per (src, tag): messages are consumed in arrival order
+        seen = {}
+        for msg, req in matched:
+            key = (msg.src_rank, msg.meta["tag"])
+            assert req.peer in (key[0], ANY_SOURCE)
+            assert req.tag in (key[1], ANY_TAG)
+            prev = seen.get(key)
+            if prev is not None:
+                assert msg.meta["seq"] > prev
+            seen[key] = msg.meta["seq"]
+
+
+class TestDependencyProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["in", "out", "inout"]),
+                              st.integers(0, 3)),
+                    min_size=1, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_serialization_order_respects_readers_writers(self, accesses):
+        """For any access sequence on a few keys, the observed execution
+        order satisfies: a writer is ordered after every earlier access to
+        its key; a reader after the latest earlier writer of its key."""
+        eng = Engine()
+        rt = Runtime(eng, RuntimeConfig(n_cores=4, create_overhead=0.0,
+                                        dispatch_overhead=0.0))
+        finished = []
+
+        def main(rt):
+            mk = {"in": In, "out": Out, "inout": InOut}
+            for i, (mode, key) in enumerate(accesses):
+                def body(task, i=i):
+                    task.charge(1e-6)
+                    finished.append(i)
+                rt.submit(body, [mk[mode](key)])
+            yield from rt.taskwait()
+
+        run_all(eng, [rt.spawn_main(main)])
+        pos = {i: p for p, i in enumerate(finished)}
+        assert len(pos) == len(accesses)
+        for j, (mode_j, key_j) in enumerate(accesses):
+            for i in range(j):
+                mode_i, key_i = accesses[i]
+                if key_i != key_j:
+                    continue
+                if mode_j in ("out", "inout"):
+                    assert pos[i] < pos[j], (i, j, accesses)
+                elif mode_i in ("out", "inout"):
+                    assert pos[i] < pos[j], (i, j, accesses)
+
+
+class TestSegmentProperties:
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(1, 1000)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_notifications_consumed_exactly_once(self, posts):
+        seg = Segment(0, np.zeros(1))
+        # keep the latest value per id (GASPI overwrites unconsumed slots)
+        latest = {}
+        for nid, val in posts:
+            seg.post_notification(nid, val)
+            latest[nid] = val
+        for nid, val in latest.items():
+            assert seg.consume(nid) == val
+            assert seg.consume(nid) is None
+
+
+class TestPartitionProperties:
+    @given(st.integers(1, 200), st.integers(1, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_partition_rows_covers_exactly(self, rows, ranks):
+        if ranks > rows:
+            with pytest.raises(ValueError):
+                partition_rows(rows, ranks)
+            return
+        parts = partition_rows(rows, ranks)
+        assert parts[0][0] == 0 and parts[-1][1] == rows
+        for (a0, a1), (b0, b1) in zip(parts, parts[1:]):
+            assert a1 == b0
+        sizes = [b - a for a, b in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestGSKernelProperties:
+    @given(st.integers(2, 6), st.integers(2, 12), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_column_split_invariance(self, m, n, data):
+        """Splitting a block sweep at any column is bit-invariant —
+        the property that makes distributed runs reference-exact."""
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        A1 = rng.random((m, 2 * n))
+        A2 = A1.copy()
+        top, bottom = rng.random(2 * n), rng.random(2 * n)
+        side = np.zeros(m)
+        gs_sweep_block(A1, top, bottom, side, side)
+        split = data.draw(st.integers(1, 2 * n - 1))
+        old_right = A2[:, split].copy()
+        gs_sweep_block(A2[:, :split], top[:split], bottom[:split], side, old_right)
+        gs_sweep_block(A2[:, split:], top[split:], bottom[split:],
+                       A2[:, split - 1], side)
+        assert np.array_equal(A1, A2)
+
+
+class TestMeshProperties:
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 2))
+    @settings(max_examples=15, deadline=None)
+    def test_mesh_invariants_for_random_objects(self, seed, max_level):
+        params = AMRParams(nx=2, ny=2, nz=2, max_level=max_level, seed=seed,
+                           n_objects=2)
+        mesh = build_mesh(params, make_objects(params), epoch=0)
+        # volume coverage
+        vol = sum(0.5 ** (3 * b[0]) for b in mesh.leaves)
+        assert vol == pytest.approx(params.nx * params.ny * params.nz)
+        # 2:1 balance and pair symmetry
+        directed = set()
+        for b in mesh.order:
+            for f in range(6):
+                for nb in mesh.face_neighbors(b, f):
+                    assert abs(nb[0] - b[0]) <= 1
+                    directed.add((b, nb))
+        for (a, b) in directed:
+            assert (b, a) in directed

@@ -1,0 +1,280 @@
+"""Unit tests for the DES kernel: engine, events, processes."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError, Interrupt, Mutex
+from repro.sim.engine import PRIORITY_URGENT
+from repro.sim.events import Event, Timeout, AllOf, AnyOf
+
+
+class TestEngineBasics:
+    def test_starts_at_time_zero(self):
+        assert Engine().now == 0.0
+
+    def test_timeout_advances_time(self):
+        eng = Engine()
+        eng.timeout(2.5)
+        assert eng.run() == 2.5
+
+    def test_run_until_caps_time(self):
+        eng = Engine()
+        eng.timeout(10.0)
+        assert eng.run(until=3.0) == 3.0
+        assert eng.now == 3.0
+
+    def test_run_until_beyond_last_event(self):
+        eng = Engine()
+        eng.timeout(1.0)
+        assert eng.run(until=5.0) == 5.0
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.schedule(Event(eng), delay=-1.0)
+
+    def test_step_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().step()
+
+    def test_event_budget(self):
+        eng = Engine()
+
+        def looper():
+            while True:
+                yield eng.timeout(1.0)
+
+        eng.process(looper())
+        with pytest.raises(SimulationError, match="budget"):
+            eng.run(max_events=50)
+
+    def test_same_time_events_fire_in_insertion_order(self):
+        eng = Engine()
+        order = []
+        for i in range(5):
+            ev = Event(eng)
+            ev.add_callback(lambda _e, i=i: order.append(i))
+            ev.succeed(delay=1.0)
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_overrides_insertion_order(self):
+        eng = Engine()
+        order = []
+        a = Event(eng)
+        a.add_callback(lambda _e: order.append("normal"))
+        a.succeed(delay=1.0)
+        b = Event(eng)
+        b.add_callback(lambda _e: order.append("urgent"))
+        b.succeed(delay=1.0, priority=PRIORITY_URGENT)
+        eng.run()
+        assert order == ["urgent", "normal"]
+
+    def test_event_count_increments(self):
+        eng = Engine()
+        eng.timeout(1.0)
+        eng.timeout(2.0)
+        eng.run()
+        assert eng.event_count == 2
+
+
+class TestEvents:
+    def test_value_before_trigger_raises(self):
+        eng = Engine()
+        ev = Event(eng)
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_double_trigger_rejected(self):
+        eng = Engine()
+        ev = Event(eng)
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_callback_after_trigger_runs_immediately(self):
+        eng = Engine()
+        ev = Event(eng)
+        ev.succeed("v")
+        eng.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["v"]
+
+    def test_fail_requires_exception(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            Event(eng).fail("not an exception")  # type: ignore[arg-type]
+
+    def test_unwaited_failure_surfaces(self):
+        eng = Engine()
+        Event(eng).fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            eng.run()
+
+    def test_allof_collects_values_in_child_order(self):
+        eng = Engine()
+        evs = [eng.timeout(3.0, "a"), eng.timeout(1.0, "b")]
+        cond = AllOf(eng, evs)
+        eng.run()
+        assert cond.value == ["a", "b"]
+        assert eng.now == 3.0
+
+    def test_anyof_first_value(self):
+        eng = Engine()
+        cond = AnyOf(eng, [eng.timeout(3.0, "slow"), eng.timeout(1.0, "fast")])
+        eng.run(until=1.5)
+        assert cond.triggered and cond.value == "fast"
+
+    def test_allof_empty_fires_immediately(self):
+        eng = Engine()
+        cond = AllOf(eng, [])
+        eng.run()
+        assert cond.triggered and cond.value == []
+
+    def test_anyof_empty_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            AnyOf(eng, [])
+
+    def test_allof_with_already_triggered_children(self):
+        eng = Engine()
+        done = eng.timeout(0.0, "x")
+        eng.run()
+        cond = AllOf(eng, [done, eng.timeout(1.0, "y")])
+        eng.run()
+        assert cond.value == ["x", "y"]
+
+
+class TestProcesses:
+    def test_return_value(self):
+        eng = Engine()
+
+        def body():
+            yield eng.timeout(1.0)
+            return 42
+
+        assert eng.run_until_complete(eng.process(body())) == 42
+
+    def test_timeout_value_passed_to_send(self):
+        eng = Engine()
+        got = []
+
+        def body():
+            v = yield eng.timeout(1.0, "payload")
+            got.append(v)
+
+        eng.run_until_complete(eng.process(body()))
+        assert got == ["payload"]
+
+    def test_process_joins_process(self):
+        eng = Engine()
+
+        def inner():
+            yield eng.timeout(2.0)
+            return "inner-result"
+
+        def outer():
+            v = yield eng.process(inner())
+            return v
+
+        assert eng.run_until_complete(eng.process(outer())) == "inner-result"
+
+    def test_exception_propagates(self):
+        eng = Engine()
+
+        def body():
+            yield eng.timeout(1.0)
+            raise RuntimeError("model bug")
+
+        with pytest.raises(RuntimeError, match="model bug"):
+            eng.run_until_complete(eng.process(body()))
+
+    def test_failed_event_thrown_into_process(self):
+        eng = Engine()
+        caught = []
+
+        def body():
+            ev = Event(eng)
+            ev.fail(ValueError("net down"))
+            try:
+                yield ev
+            except ValueError as e:
+                caught.append(str(e))
+
+        eng.run_until_complete(eng.process(body()))
+        assert caught == ["net down"]
+
+    def test_yielding_non_event_fails(self):
+        eng = Engine()
+
+        def body():
+            yield 123
+
+        with pytest.raises(SimulationError, match="must yield Events"):
+            eng.run_until_complete(eng.process(body()))
+
+    def test_non_generator_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError, match="generator"):
+            eng.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_interrupt(self):
+        eng = Engine()
+        log = []
+
+        def sleeper():
+            try:
+                yield eng.timeout(100.0)
+            except Interrupt as i:
+                log.append(("interrupted", i.cause, eng.now))
+
+        p = eng.process(sleeper())
+
+        def killer():
+            yield eng.timeout(5.0)
+            p.interrupt("enough")
+
+        eng.process(killer())
+        eng.run()
+        assert log == [("interrupted", "enough", 5.0)]
+
+    def test_deadlock_detected(self):
+        eng = Engine()
+
+        def stuck():
+            yield Event(eng)  # never triggered
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            eng.run_until_complete(eng.process(stuck()))
+
+    def test_waiting_on_self_fails(self):
+        eng = Engine()
+        holder = {}
+
+        def body():
+            yield holder["proc"]
+
+        holder["proc"] = eng.process(body())
+        with pytest.raises(SimulationError, match="waited on itself"):
+            eng.run_until_complete(holder["proc"])
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            eng = Engine()
+            trace = []
+
+            def worker(name, m):
+                yield m.acquire()
+                trace.append((eng.now, name))
+                yield eng.timeout(0.5)
+                m.release()
+
+            m = Mutex(eng)
+            for n in ("a", "b", "c"):
+                eng.process(worker(n, m))
+            eng.run()
+            return trace
+
+        assert run_once() == run_once()

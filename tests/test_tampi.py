@@ -1,0 +1,165 @@
+"""Unit tests for the TAMPI library."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Engine
+from repro.network import Cluster, OMNIPATH
+from repro.mpi import MPIContext
+from repro.tasking import Runtime, RuntimeConfig, In, Out, TaskingError
+from repro.tampi import TAMPI
+from tests.conftest import run_all
+
+
+def make_pair(poll_us=50):
+    eng = Engine()
+    cl = Cluster(eng, 2, OMNIPATH)
+    cl.place_ranks_block(2, 1)
+    mpi = MPIContext(cl)
+    rts = [Runtime(eng, RuntimeConfig(n_cores=2), f"rt{r}") for r in range(2)]
+    tampis = [TAMPI(rts[r], mpi.rank(r), poll_period_us=poll_us) for r in range(2)]
+    return eng, mpi, rts, tampis
+
+
+class TestIwait:
+    def test_send_recv_through_tasks(self):
+        eng, mpi, (rt0, rt1), (tp0, tp1) = make_pair()
+        out = {}
+
+        def sender_main(rt):
+            def send_task(task):
+                req = mpi.rank(0).isend(np.arange(8, dtype=np.float64), 1, tag=1)
+                tp0.iwait(req)
+            rt.submit(send_task, [In("data")], label="send")
+            yield from rt.taskwait()
+
+        def receiver_main(rt):
+            buf = np.zeros(8)
+            def recv_task(task):
+                req = mpi.rank(1).irecv(buf, 0, tag=1)
+                tp1.iwait(req)
+            rt.submit(recv_task, [Out("buf")], label="recv")
+            def consume(task):
+                out["data"] = buf.copy()
+            rt.submit(consume, [In("buf")], label="consume")
+            yield from rt.taskwait()
+
+        run_all(eng, [rt0.spawn_main(sender_main), rt1.spawn_main(receiver_main)])
+        assert np.array_equal(out["data"], np.arange(8, dtype=np.float64))
+
+    def test_dependencies_released_only_after_completion(self):
+        """The successor must observe the received bytes — i.e. the recv
+        task's Out dependency is held until the MPI request finalizes."""
+        eng, mpi, (rt0, rt1), (tp0, tp1) = make_pair()
+        observed = []
+
+        def sender_main(rt):
+            def send_task(task):
+                # delay the send so the receiver's poller must actually wait
+                yield task.compute(500e-6)
+                req = mpi.rank(0).isend(np.full(4, 7.0), 1, tag=2)
+                tp0.iwait(req)
+            rt.submit(send_task, [], label="send")
+            yield from rt.taskwait()
+
+        def receiver_main(rt):
+            buf = np.zeros(4)
+            def recv_task(task):
+                req = mpi.rank(1).irecv(buf, 0, tag=2)
+                tp1.iwait(req)
+            rt.submit(recv_task, [Out("b")])
+            rt.submit(lambda task: observed.append(buf.copy()), [In("b")])
+            yield from rt.taskwait()
+
+        run_all(eng, [rt0.spawn_main(sender_main), rt1.spawn_main(receiver_main)])
+        assert np.array_equal(observed[0], np.full(4, 7.0))
+
+    def test_iwait_outside_task_rejected(self):
+        _eng, mpi, _rts, (tp0, _tp1) = make_pair()
+        req = mpi.rank(0).isend(np.ones(1), 1, tag=0)
+        with pytest.raises(TaskingError, match="outside a task"):
+            tp0.iwait(req)
+
+    def test_iwaitall_binds_each_request(self):
+        eng, mpi, (rt0, rt1), (tp0, tp1) = make_pair()
+
+        def sender_main(rt):
+            def send_task(task):
+                reqs = [mpi.rank(0).isend(np.ones(2), 1, tag=i) for i in range(3)]
+                tp0.iwaitall(reqs)
+            rt.submit(send_task, [])
+            yield from rt.taskwait()
+
+        def receiver_main(rt):
+            bufs = [np.zeros(2) for _ in range(3)]
+            def recv_task(task):
+                tp1.iwaitall([mpi.rank(1).irecv(bufs[i], 0, tag=i) for i in range(3)])
+            rt.submit(recv_task, [])
+            yield from rt.taskwait()
+
+        run_all(eng, [rt0.spawn_main(sender_main), rt1.spawn_main(receiver_main)])
+        assert tp0.stats_iwaits == 3 and tp0.stats_completed == 3
+        assert tp1.stats_completed == 3
+        assert tp0.pending_count == 0
+
+    def test_polling_uses_mpi_lock(self):
+        eng, mpi, (rt0, rt1), (tp0, tp1) = make_pair()
+        calls_before = mpi.rank(1).lock.calls
+
+        def sender_main(rt):
+            def send_task(task):
+                yield task.compute(300e-6)
+                req = mpi.rank(0).isend(np.ones(1), 1, tag=0)
+                tp0.iwait(req)
+            rt.submit(send_task, [])
+            yield from rt.taskwait()
+
+        def receiver_main(rt):
+            buf = np.zeros(1)
+            def recv_task(task):
+                tp1.iwait(mpi.rank(1).irecv(buf, 0, tag=0))
+            rt.submit(recv_task, [])
+            yield from rt.taskwait()
+
+        run_all(eng, [rt0.spawn_main(sender_main), rt1.spawn_main(receiver_main)])
+        # the receiver's poller made several Testsome passes while waiting
+        assert mpi.rank(1).lock.calls - calls_before > 3
+
+
+class TestContentionModel:
+    def test_many_concurrent_comm_tasks_pile_up_on_the_lock(self):
+        """More concurrent communication tasks => superlinear growth of
+        total time in MPI (lock wait) — the §VI-C mechanism."""
+
+        def run(n_msgs):
+            eng = Engine()
+            cl = Cluster(eng, 2, OMNIPATH)
+            cl.place_ranks_block(2, 1)
+            mpi = MPIContext(cl)
+            rt0 = Runtime(eng, RuntimeConfig(n_cores=8), "rt0")
+            rt1 = Runtime(eng, RuntimeConfig(n_cores=8), "rt1")
+            tp0, tp1 = TAMPI(rt0, mpi.rank(0), 50), TAMPI(rt1, mpi.rank(1), 50)
+
+            def sender_main(rt):
+                for i in range(n_msgs):
+                    def send_task(task, i=i):
+                        tp0.iwait(mpi.rank(0).isend(np.ones(64), 1, tag=i))
+                    rt.submit(send_task, [])
+                yield from rt.taskwait()
+
+            def receiver_main(rt):
+                bufs = [np.zeros(64) for _ in range(n_msgs)]
+                for i in range(n_msgs):
+                    def recv_task(task, i=i):
+                        tp1.iwait(mpi.rank(1).irecv(bufs[i], 0, tag=i))
+                    rt.submit(recv_task, [])
+                yield from rt.taskwait()
+
+            run_all(eng, [rt0.spawn_main(sender_main), rt1.spawn_main(receiver_main)])
+            return mpi.total_wait_in_mpi(), mpi.total_time_in_mpi()
+
+        wait_small, time_small = run(8)
+        wait_big, time_big = run(128)
+        assert time_big > time_small
+        # wait time grows faster than call count (16x more messages)
+        assert wait_big > 16 * max(wait_small, 1e-12)
