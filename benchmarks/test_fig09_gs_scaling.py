@@ -12,7 +12,14 @@ import pytest
 from benchmarks.conftest import emit, run_once
 from repro.apps.gauss_seidel import GSParams
 from repro.apps.gauss_seidel.runner import run_gauss_seidel_steady
-from repro.harness import JobSpec, MARENOSTRUM4, format_series, parallel_efficiency, speedup
+from repro.harness import (
+    JobSpec,
+    MARENOSTRUM4,
+    format_series,
+    format_table,
+    parallel_efficiency,
+    speedup,
+)
 
 NODES = [1, 2, 4, 8, 16, 32]
 # Unlike the paper we can fit one input at every node count (its 16x split
@@ -57,6 +64,17 @@ def test_fig09_gauss_seidel_strong_scaling(benchmark):
                        "nodes", eff, NODES))
 
     last = NODES[-1]
+    # per-layer metrics sweep (repro.trace registry) at the largest scale:
+    # where the communication time actually goes, per variant
+    emit(format_table(
+        f"Gauss-Seidel per-layer metrics at {last} nodes",
+        ["variant", "comm_time (s)", "lock_wait (s)", "messages",
+         "notifications"],
+        [[v] + [results[v][-1].extra[k] for k in
+                ("comm_time", "lock_wait_time", "messages", "notifications")]
+         for v in VARIANTS],
+    ))
+
     thr = {v: results[v][-1].throughput for v in VARIANTS}
     emit(f"at {last} nodes: TAGASPI/MPI-only = {thr['tagaspi']/thr['mpi']:.3f}, "
          f"TAGASPI/TAMPI = {thr['tagaspi']/thr['tampi']:.3f} "

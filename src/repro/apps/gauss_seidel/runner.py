@@ -25,14 +25,16 @@ _MAINS = {
 
 
 def run_gauss_seidel(spec: JobSpec, params: GSParams,
-                     collect_grid: bool = False):
+                     collect_grid: bool = False, tracer=None):
     """Run the Gauss–Seidel benchmark for ``spec.variant``.
 
-    Returns a :class:`VariantResult`; with ``collect_grid=True`` (data mode
-    only) the result's ``extra['grid']`` holds the assembled global grid
-    for comparison against :func:`gs_reference`.
+    Returns a :class:`VariantResult` whose ``extra`` carries the job's full
+    per-layer metrics sweep. With ``collect_grid=True`` (data mode only)
+    ``extra['grid']`` holds the assembled global grid for comparison
+    against :func:`gs_reference`. ``tracer`` (a :class:`repro.trace.Tracer`)
+    records the run's timeline.
     """
-    job = build_job(spec)
+    job = build_job(spec, tracer=tracer)
     storages = make_storages(job, params)
     main = _MAINS[spec.variant]
     procs = [main(job, params, st) for st in storages]
@@ -43,14 +45,8 @@ def run_gauss_seidel(spec: JobSpec, params: GSParams,
         n_nodes=spec.n_nodes,
         throughput=params.gupdates(sim_time),
         sim_time=sim_time,
-        extra={
-            "messages": float(job.cluster.stats.messages),
-            "bytes": float(job.cluster.stats.bytes),
-        },
+        extra=dict(job.metrics),
     )
-    if job.mpi is not None:
-        result.extra["time_in_mpi"] = job.mpi.total_time_in_mpi()
-        result.extra["wait_in_mpi"] = job.mpi.total_wait_in_mpi()
     if collect_grid:
         if not params.compute_data:
             raise ValueError("collect_grid requires compute_data=True")

@@ -19,15 +19,16 @@ _MAINS = {"mpi": mpi_only_main, "tampi": tampi_main, "tagaspi": tagaspi_main}
 
 def run_miniamr(spec: JobSpec, params: AMRParams,
                 schedule: Optional[MeshSchedule] = None,
-                collect_values: bool = False) -> VariantResult:
+                collect_values: bool = False, tracer=None) -> VariantResult:
     """Run miniAMR for one configuration.
 
     The mesh schedule is deterministic in (params, n_ranks); pass a
     prebuilt one to share it across variants of the same rank count.
     Returns throughput (GUpdates/s) plus the NR (negligible-refinement)
-    throughput the paper reports alongside it (Fig. 11/12).
+    throughput the paper reports alongside it (Fig. 11/12). ``tracer`` (a
+    :class:`repro.trace.Tracer`) records the run's timeline.
     """
-    job = build_job(spec)
+    job = build_job(spec, tracer=tracer)
     if schedule is None:
         schedule = build_mesh_schedule(params, job.spec.n_ranks)
     state = AMRJobState(job, params, schedule)
@@ -38,21 +39,17 @@ def run_miniamr(spec: JobSpec, params: AMRParams,
     refine_time = sum(t1 - t0 for (t0, t1) in state.refine_windows)
     work = state.total_work()
     nr_time = max(sim_time - refine_time, 1e-12)
+    extra = dict(job.metrics)
+    extra["refine_time"] = refine_time
+    extra["blocks"] = float(schedule.meshes[0].n_blocks)
     result = VariantResult(
         variant=spec.variant,
         n_nodes=spec.n_nodes,
         throughput=work / sim_time / 1e9,
         throughput_nr=work / nr_time / 1e9,
         sim_time=sim_time,
-        extra={
-            "refine_time": refine_time,
-            "messages": float(job.cluster.stats.messages),
-            "blocks": float(schedule.meshes[0].n_blocks),
-        },
+        extra=extra,
     )
-    if job.mpi is not None:
-        result.extra["time_in_mpi"] = job.mpi.total_time_in_mpi()
-        result.extra["wait_in_mpi"] = job.mpi.total_wait_in_mpi()
     if collect_values:
         result.extra["values"] = state.final_values()
     return result

@@ -14,12 +14,13 @@ _MAINS = {"mpi": mpi_only_main, "tampi": tampi_main, "tagaspi": tagaspi_main}
 
 
 def run_streaming(spec: JobSpec, params: StreamingParams,
-                  collect_output: bool = False) -> VariantResult:
+                  collect_output: bool = False, tracer=None) -> VariantResult:
     """Run the Streaming benchmark; with ``collect_output`` (data mode) the
-    result's ``extra['outputs']`` maps last-node rank -> final chunk data."""
+    result's ``extra['outputs']`` maps last-node rank -> final chunk data.
+    ``tracer`` (a :class:`repro.trace.Tracer`) records the run's timeline."""
     if spec.n_nodes < 2:
         raise ValueError("the pipeline needs at least 2 nodes")
-    job = build_job(spec)
+    job = build_job(spec, tracer=tracer)
     ranks = make_ranks(job, params)
     outputs: Dict = {}
     main = _MAINS[spec.variant]
@@ -30,11 +31,8 @@ def run_streaming(spec: JobSpec, params: StreamingParams,
         n_nodes=spec.n_nodes,
         throughput=params.gelements(sim_time),
         sim_time=sim_time,
-        extra={"messages": float(job.cluster.stats.messages)},
+        extra=dict(job.metrics),
     )
-    if job.mpi is not None:
-        result.extra["time_in_mpi"] = job.mpi.total_time_in_mpi()
-        result.extra["wait_in_mpi"] = job.mpi.total_wait_in_mpi()
     if collect_output:
         if not params.compute_data:
             raise ValueError("collect_output requires compute_data=True")

@@ -152,6 +152,10 @@ class TAGASPI:
             if out is not None:
                 out[0] = val
             self.stats_notif_immediate += 1
+            tr = self.runtime.engine.tracer
+            if tr.enabled:
+                tr.instant("tagaspi", "notify_immediate", self.runtime.engine.now,
+                           rank=self.gaspi.rank, seg=seg_id, notif_id=notif_id)
             return
         task.add_event(1)
         obj = self.pool.acquire().assign(seg_id, notif_id, out, task, task._in_onready)
@@ -170,6 +174,9 @@ class TAGASPI:
     # polling-task body (paper Fig. 7, pollRequests)
     # ------------------------------------------------------------------
     def poll_requests(self) -> None:
+        eng = self.runtime.engine
+        tr = eng.tracer
+        now = eng.now
         # (1) local completions per queue via the §IV-C extension
         retired = 0
         for q in range(len(self.gaspi.queues)):
@@ -180,14 +187,22 @@ class TAGASPI:
                         task.fulfill_pre_event(1)
                     else:
                         task.fulfill_event(1)
+                if tr.enabled:
+                    # submit -> local completion, plus the poller's
+                    # detection delay (done_at -> this pass)
+                    tr.span("tagaspi", f"{req.op}.inflight",
+                            req.submitted_at, req.done_at,
+                            rank=self.gaspi.rank, queue=q)
+                    if now > req.done_at:
+                        tr.span("tagaspi", f"{req.op}.detect",
+                                req.done_at, now, rank=self.gaspi.rank, queue=q)
                 retired += 1
         # (2) drain freshly registered pending notifications, then test all
         fresh = self.mpsc.drain()
         if fresh:
             self._pending_notifs.extend(fresh)
         if self._pending_notifs:
-            charge_current(self.runtime.engine,
-                           NOTIF_TEST_COST * len(self._pending_notifs))
+            charge_current(eng, NOTIF_TEST_COST * len(self._pending_notifs))
             still: List[PendingNotification] = []
             for obj in self._pending_notifs:
                 val = self.gaspi.notify_test(obj.seg_id, obj.notif_id)
@@ -200,9 +215,17 @@ class TAGASPI:
                     obj.task.fulfill_pre_event(1)
                 else:
                     obj.task.fulfill_event(1)
+                if tr.enabled:
+                    tr.instant("tagaspi", "notify_fulfilled", now,
+                               rank=self.gaspi.rank, seg=obj.seg_id,
+                               notif_id=obj.notif_id)
                 self.pool.release(obj)
                 retired += 1
             self._pending_notifs = still
+            if tr.enabled:
+                tr.counter("tagaspi", "pending_notifications", now,
+                           float(len(self._pending_notifs)),
+                           rank=self.gaspi.rank)
         if retired:
             self.work.retire(retired)
 

@@ -127,9 +127,10 @@ class GaspiRank:
           remote_seg/remote_off (source), count
         """
         q = self._queue(queue)
+        now = self.engine.now
         grant = q.device.use(self._c_op)
         charge_current(self.engine, grant.wait + self._c_op)
-        depart = grant.end - self.engine.now
+        depart = grant.end - now
         nreq = low_level_requests(operation)
 
         if operation in (GASPI_OP_WRITE, GASPI_OP_WRITE_NOTIFY):
@@ -150,7 +151,8 @@ class GaspiRank:
             )
             local_done = self.cluster.send(msg, depart_delay=depart)
             for _ in range(nreq):
-                q.post(LowLevelRequest(tag=tag, done_at=local_done, op=operation))
+                q.post(LowLevelRequest(tag=tag, done_at=local_done, op=operation,
+                                       submitted_at=now))
 
         elif operation == GASPI_OP_NOTIFY:
             if notif_id is None:
@@ -162,7 +164,8 @@ class GaspiRank:
                       "notif_val": notif_val, "queue": queue},
             )
             local_done = self.cluster.send(msg, depart_delay=depart)
-            q.post(LowLevelRequest(tag=tag, done_at=local_done, op=operation))
+            q.post(LowLevelRequest(tag=tag, done_at=local_done, op=operation,
+                                   submitted_at=now))
 
         elif operation == GASPI_OP_READ:
             dst_view = self.segment(local_seg).view(local_off, count)
@@ -170,7 +173,8 @@ class GaspiRank:
             self._read_op_seq += 1
             # the request completes when the response lands; post with an
             # infinite done time and fix it up on arrival
-            req = LowLevelRequest(tag=tag, done_at=float("inf"), op=operation)
+            req = LowLevelRequest(tag=tag, done_at=float("inf"), op=operation,
+                                  submitted_at=now)
             q.post(req)
             self._read_waiters[op_id] = (req, local_seg, local_off, count)
             msg = Message(
@@ -182,6 +186,15 @@ class GaspiRank:
             self.cluster.send(msg, depart_delay=depart)
         else:  # pragma: no cover - low_level_requests already validated
             raise GaspiError(f"unknown operation {operation!r}")
+
+        tr = self.engine.tracer
+        if tr.enabled:
+            # submit span: API entry -> queue-device grant (lock contention
+            # on the queue shows up as the span stretching past _c_op)
+            tr.span("gaspi", operation, now, grant.end, rank=self.rank,
+                    queue=queue, count=count, wait=grant.wait)
+            tr.counter("gaspi", f"q{queue}.depth", grant.end, float(q.depth),
+                       rank=self.rank)
 
     def request_wait(
         self, queue: int, max_reqs: int, timeout: float = GASPI_TEST

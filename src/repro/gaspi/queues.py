@@ -32,6 +32,8 @@ class LowLevelRequest:
     done_at: float
     #: operation kind that created it (diagnostics)
     op: str
+    #: absolute sim time of submission (trace timelines)
+    submitted_at: float = 0.0
 
 
 class GaspiQueue:

@@ -5,11 +5,15 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 
+def _cell(c) -> str:
+    if c is None:
+        return "-"
+    return f"{c:.4g}" if isinstance(c, float) else str(c)
+
+
 def format_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> str:
-    """Render an aligned text table."""
-    cells = [[str(h) for h in headers]] + [
-        [f"{c:.4g}" if isinstance(c, float) else str(c) for c in row] for row in rows
-    ]
+    """Render an aligned text table; ``None`` cells render as ``-``."""
+    cells = [[str(h) for h in headers]] + [[_cell(c) for c in row] for row in rows]
     widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
     lines = [title, "=" * len(title)]
     for i, row in enumerate(cells):

@@ -28,6 +28,7 @@ from repro.sim import Engine, derive_rng
 from repro.sim.engine import SimulationError
 from repro.tampi import TAMPI
 from repro.tasking import Runtime, RuntimeConfig
+from repro.trace import MetricsRegistry, Tracer
 
 
 class VariantError(ValueError):
@@ -83,11 +84,18 @@ class JobSpec:
 
 
 class Job:
-    """An assembled simulation: cluster + per-rank substrate contexts."""
+    """An assembled simulation: cluster + per-rank substrate contexts.
 
-    def __init__(self, spec: JobSpec):
+    ``tracer`` (a :class:`repro.trace.Tracer`) enables timeline recording
+    across every instrumented layer; by default the zero-cost null tracer
+    is installed. :attr:`registry` holds one metrics collector per layer;
+    :meth:`run` sweeps it into :attr:`metrics` after the job completes.
+    """
+
+    def __init__(self, spec: JobSpec, tracer: Optional[Tracer] = None):
         self.spec = spec
-        self.engine = Engine()
+        self.engine = Engine(tracer=tracer)
+        self.tracer = self.engine.tracer
         rng = None if spec.seed is None else derive_rng(spec.seed, "net")
         self.cluster = Cluster(self.engine, spec.n_nodes, spec.machine.fabric, rng=rng)
         self.cluster.place_ranks_block(spec.n_ranks, spec.ranks_per_node)
@@ -131,6 +139,103 @@ class Job:
                     for r in range(spec.n_ranks)
                 ]
 
+        #: per-layer counter registry, swept into :attr:`metrics` by run()
+        self.registry = MetricsRegistry()
+        self._install_collectors()
+        #: last sweep of :attr:`registry` (populated by :meth:`run`)
+        self.metrics: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def _install_collectors(self) -> None:
+        """Register one collector per substrate layer of this job."""
+        reg = self.registry
+        reg.register("network", self._collect_network)
+        if self.mpi is not None:
+            reg.register("mpi", self._collect_mpi)
+        if self.gaspi is not None:
+            reg.register("gaspi", self._collect_gaspi)
+        for t in self.tampi:
+            reg.register("tampi", lambda t=t: {
+                "tampi_iwaits": t.stats_iwaits,
+                "tampi_completed": t.stats_completed,
+            })
+        for t in self.tagaspi:
+            reg.register("tagaspi", lambda t=t: {
+                "tagaspi_ops": t.stats_ops,
+                "tagaspi_notif_waits": t.stats_notif_waits,
+                "tagaspi_notif_immediate": t.stats_notif_immediate,
+            })
+        for rt in self.runtimes:
+            reg.register("tasking", lambda rt=rt: {
+                "tasks_created": rt.stats.tasks_created,
+                "tasks_completed": rt.stats.tasks_completed,
+                "task_cpu_time": rt.stats.total_task_cpu_time,
+                "onready_calls": rt.stats.onready_calls,
+                "core_busy_time": rt.core_busy_time(),
+            })
+
+    def _collect_network(self) -> Dict[str, float]:
+        st = self.cluster.stats
+        return {
+            "messages": st.messages,
+            "control_messages": st.control_messages,
+            "bytes": st.bytes,
+            "intra_messages": st.intra_messages,
+            "mean_transit": st.mean_transit(),
+        }
+
+    def _collect_mpi(self) -> Dict[str, float]:
+        out = {
+            "time_in_mpi": self.mpi.total_time_in_mpi(),
+            "wait_in_mpi": self.mpi.total_wait_in_mpi(),
+            "mpi_calls": sum(rk.lock.calls for rk in self.mpi.ranks),
+            "mpi_isends": sum(rk.stats_isends for rk in self.mpi.ranks),
+            "mpi_irecvs": sum(rk.stats_irecvs for rk in self.mpi.ranks),
+            "eager_msgs": sum(rk.stats_eager for rk in self.mpi.ranks),
+            "rendezvous_msgs": sum(rk.stats_rendezvous for rk in self.mpi.ranks),
+        }
+        return out
+
+    def _collect_gaspi(self) -> Dict[str, float]:
+        submitted = harvested = 0
+        submit_time = queue_wait = 0.0
+        notifications = 0
+        for rk in self.gaspi.ranks:
+            for q in rk.queues:
+                submitted += q.submitted
+                harvested += q.harvested
+                st = q.device.stats
+                submit_time += st.total_wait_time + st.total_hold_time
+                queue_wait += st.total_wait_time
+            for seg in rk.segments.values():
+                notifications += seg.arrival_counter
+        return {
+            "gaspi_submitted": submitted,
+            "gaspi_harvested": harvested,
+            "gaspi_submit_time": submit_time,
+            "gaspi_queue_wait": queue_wait,
+            "notifications": notifications,
+        }
+
+    def collect_metrics(self) -> Dict[str, float]:
+        """Sweep the registry and add the derived headline metrics every
+        variant must report (zero-valued where a layer is absent):
+
+        * ``comm_time`` — time inside communication libraries (MPI lock
+          wait+hold plus GASPI queue submission wait+hold);
+        * ``lock_wait_time`` — the contention component alone;
+        * ``messages`` / ``notifications`` — transport counts.
+        """
+        m = self.registry.collect()
+        m["comm_time"] = m.get("time_in_mpi", 0.0) + m.get("gaspi_submit_time", 0.0)
+        m["lock_wait_time"] = m.get("wait_in_mpi", 0.0) + m.get("gaspi_queue_wait", 0.0)
+        m.setdefault("messages", 0.0)
+        m.setdefault("notifications", 0.0)
+        self.metrics = m
+        return m
+
     # ------------------------------------------------------------------
     def app_rng(self, *path) -> np.random.Generator:
         """Deterministic RNG stream for application-level randomness."""
@@ -138,7 +243,8 @@ class Job:
 
     def run(self, procs, max_events: Optional[int] = 50_000_000) -> float:
         """Run until every process in ``procs`` terminates; returns the sim
-        time. Raises on deadlock or process failure."""
+        time and sweeps the metrics registry into :attr:`metrics`. Raises
+        on deadlock or process failure."""
         eng = self.engine
         fired = 0
         pending = list(procs)
@@ -149,13 +255,15 @@ class Job:
             eng.step()
             fired += 1
             if max_events is not None and fired > max_events:
-                raise SimulationError(f"job exceeded event budget ({max_events})")
+                raise eng.budget_error(max_events)
         for p in pending:
             if p.ok is False:
                 raise p.value
+        self.collect_metrics()
         return eng.now
 
 
-def build_job(spec: JobSpec) -> Job:
-    """Assemble the simulation for one experimental point."""
-    return Job(spec)
+def build_job(spec: JobSpec, tracer: Optional[Tracer] = None) -> Job:
+    """Assemble the simulation for one experimental point, optionally with
+    a :class:`repro.trace.Tracer` recording its timeline."""
+    return Job(spec, tracer=tracer)

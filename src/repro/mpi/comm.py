@@ -75,6 +75,11 @@ class MPIRank:
         self.rank = rank
         self.lock = GlobalLock(self.engine, rank)
         self.matching = MatchingEngine()
+        # per-call counters swept by the harness's MetricsRegistry
+        self.stats_isends = 0
+        self.stats_irecvs = 0
+        self.stats_eager = 0
+        self.stats_rendezvous = 0
         #: rendezvous sends awaiting CTS, by sender-side request uid
         self._pending_sends: dict = {}
         #: rendezvous recvs awaiting data, by receiver-side request uid
@@ -104,9 +109,11 @@ class MPIRank:
         self._check_peer(dest)
         nbytes = buffer_nbytes(buf)
         req = Request(self.engine, "send", self.rank, dest, tag, buf, nbytes)
-        grant = self.lock.enter(self._c_call)
+        self.stats_isends += 1
+        grant = self.lock.enter(self._c_call, "isend")
         depart = grant.end - self.engine.now
         if nbytes <= self._eager_max:
+            self.stats_eager += 1
             payload = None if buf is None else np.array(buf, copy=True)
             msg = Message(
                 self.rank, dest, "mpi", "eager", nbytes + CONTROL_BYTES, payload,
@@ -115,6 +122,7 @@ class MPIRank:
             local_done = self.cluster.send(msg, depart_delay=depart)
             req.complete_at(local_done)
         else:
+            self.stats_rendezvous += 1
             req.state = RequestState.HANDSHAKE
             self._pending_sends[req.uid] = req
             rts = Message(
@@ -132,7 +140,8 @@ class MPIRank:
             self._check_peer(source)
         nbytes = buffer_nbytes(buf)
         req = Request(self.engine, "recv", self.rank, source, tag, buf, nbytes)
-        grant = self.lock.enter(self._c_call)
+        self.stats_irecvs += 1
+        grant = self.lock.enter(self._c_call, "irecv")
         msg = self.matching.post_recv(req)
         if msg is not None:
             self._satisfy_recv(req, msg, at=grant.end)
@@ -171,13 +180,13 @@ class MPIRank:
     # ------------------------------------------------------------------
     def test(self, req: Request) -> bool:
         """MPI_Test: one lock round; True if the request completed."""
-        self.lock.enter(self._c_ts_base + self._c_ts_per)
+        self.lock.enter(self._c_ts_base + self._c_ts_per, "test")
         return req.done
 
     def testsome(self, reqs: Sequence[Request]) -> List[int]:
         """MPI_Testsome: indices of completed requests; lock hold grows with
         the number of requests inspected (the TAMPI poller's cost)."""
-        self.lock.enter(self._c_ts_base + self._c_ts_per * len(reqs))
+        self.lock.enter(self._c_ts_base + self._c_ts_per * len(reqs), "testsome")
         return [i for i, r in enumerate(reqs) if r.done]
 
     def testsome_timed(self, reqs: Sequence[Request]):
@@ -186,7 +195,7 @@ class MPIRank:
         moment the lock was actually acquired — under contention, the
         completion *detection* is delayed by the lock wait, which is the
         critical-path effect of §VI-C."""
-        grant = self.lock.enter(self._c_ts_base + self._c_ts_per * len(reqs))
+        grant = self.lock.enter(self._c_ts_base + self._c_ts_per * len(reqs), "testsome")
         return grant, [i for i, r in enumerate(reqs) if r.done]
 
     # ------------------------------------------------------------------
@@ -194,13 +203,13 @@ class MPIRank:
     # ------------------------------------------------------------------
     def wait(self, req: Request) -> Generator:
         """MPI_Wait: suspend the calling process until completion."""
-        self.lock.enter(self._c_call)
+        self.lock.enter(self._c_call, "wait")
         if not req.done:
             yield req.event
 
     def waitall(self, reqs: Sequence[Request]) -> Generator:
         """MPI_Waitall over a request list."""
-        self.lock.enter(self._c_call)
+        self.lock.enter(self._c_call, "waitall")
         pending = [r.event for r in reqs if not r.done]
         if pending:
             yield self.engine.all_of(pending)
@@ -315,7 +324,7 @@ class MPIRank:
             # the library's progress engine injects the data transfer;
             # it briefly takes the lock (interfering with user calls) but
             # charges no user task.
-            grant = self.lock.enter(self._c_handshake)
+            grant = self.lock.enter(self._c_handshake, "rendezvous_cts")
             data = Message(
                 self.rank,
                 msg.src_rank,

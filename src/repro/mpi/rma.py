@@ -69,7 +69,7 @@ class Window:
     # ------------------------------------------------------------------
     def lock_all(self, origin: int) -> None:
         """Open a passive epoch; cheap, charged as one MPI call."""
-        self.context.ranks[origin].lock.enter(self.context.ranks[origin]._c_call)
+        self.context.ranks[origin].lock.enter(self.context.ranks[origin]._c_call, "lock_all")
 
     def unlock_all(self, origin: int) -> Generator:
         """Close the passive epoch: implies a flush to every target."""
@@ -90,7 +90,7 @@ class Window:
                 f"put overflows window at rank {target}: "
                 f"offset {offset} + {local.size} > {tgt_buf.size}"
             )
-        grant = rank.lock.enter(self.context.fabric.cost("mpi.rma_put", 0.5e-6))
+        grant = rank.lock.enter(self.context.fabric.cost("mpi.rma_put", 0.5e-6), "rma_put")
         self._outstanding[origin][target] = self._outstanding[origin].get(target, 0) + 1
         msg = Message(
             origin, target, f"rma{self.win_id}", "put", local.nbytes + CONTROL_BYTES,
@@ -109,7 +109,7 @@ class Window:
             raise MPIError(f"rank {target} exposes no memory in window {self.win_id}")
         if offset + local.size > tgt_buf.size:
             raise MPIError("get overflows window")
-        grant = rank.lock.enter(self.context.fabric.cost("mpi.rma_put", 0.5e-6))
+        grant = rank.lock.enter(self.context.fabric.cost("mpi.rma_put", 0.5e-6), "rma_get")
         op_id = next(_rma_op_ids)
         done = self.engine.event()
         self._get_waiters[op_id] = (done, local)
@@ -128,7 +128,7 @@ class Window:
         ``target``. Costs a full round trip: a flush request chases the
         puts (FIFO channel) and the target acks back."""
         rank = self._origin_rank(origin)
-        rank.lock.enter(rank._c_call)
+        rank.lock.enter(rank._c_call, "rma_flush")
         done = self.engine.event()
         msg = Message(
             origin, target, f"rma{self.win_id}", "flush_req", CONTROL_BYTES, None,

@@ -26,10 +26,11 @@ from repro.sim.serial import SerialDevice, ServiceGrant
 class GlobalLock:
     """Per-process MPI library lock with time-in-MPI accounting."""
 
-    __slots__ = ("engine", "device", "time_in_mpi", "wait_in_mpi", "calls")
+    __slots__ = ("engine", "rank", "device", "time_in_mpi", "wait_in_mpi", "calls")
 
     def __init__(self, engine: Engine, rank: int):
         self.engine = engine
+        self.rank = rank
         self.device = SerialDevice(engine, f"mpi.lock.rank{rank}")
         #: total wait+hold seconds across all MPI calls of this process
         self.time_in_mpi = 0.0
@@ -37,12 +38,20 @@ class GlobalLock:
         self.wait_in_mpi = 0.0
         self.calls = 0
 
-    def enter(self, hold: float) -> ServiceGrant:
-        """Serialize one MPI call of duration ``hold``; charge the caller."""
+    def enter(self, hold: float, op: str = "call") -> ServiceGrant:
+        """Serialize one MPI call of duration ``hold``; charge the caller.
+
+        ``op`` names the API entry for the trace timeline (isend, testsome,
+        …); the span covers wait + hold — per-call time inside MPI.
+        """
         grant = self.device.use(hold)
         cost = grant.wait + hold
         self.time_in_mpi += cost
         self.wait_in_mpi += grant.wait
         self.calls += 1
         charge_current(self.engine, cost)
+        tr = self.engine.tracer
+        if tr.enabled:
+            now = self.engine.now
+            tr.span("mpi", op, now, grant.end, rank=self.rank, wait=grant.wait)
         return grant

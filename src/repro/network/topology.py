@@ -192,6 +192,14 @@ class Cluster:
             st.intra_messages += 1
         st.total_transit_time += arrive - now
 
+        tr = eng.tracer
+        if tr.enabled:
+            # one wire span per message: injection -> delivery, with the
+            # serialization boundary (local_done) as a phase marker
+            tr.span("net", f"{msg.protocol}.{msg.kind}", now, arrive,
+                    rank=msg.src_rank, dst=msg.dst_rank, nbytes=msg.nbytes,
+                    intra=intra, local_done=local_done)
+
         ev = eng.event()
         ev.add_callback(lambda _ev: self._deliver(msg))
         ev.succeed(delay=arrive - eng.now)

@@ -15,6 +15,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Iterable, Optional, TYPE_CHECKING
 
+from repro.trace.tracer import NULL_TRACER, Tracer
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.events import Event
     from repro.sim.process import Process
@@ -46,15 +48,23 @@ class Engine:
     trace:
         Optional callable invoked as ``trace(time, event)`` just before each
         event fires; used by tests and debugging tools.
+    tracer:
+        Optional :class:`repro.trace.Tracer` collecting typed records from
+        every instrumented layer; defaults to the zero-cost
+        :data:`~repro.trace.NULL_TRACER`.
     """
 
-    def __init__(self, trace: Optional[Callable[[float, "Event"], None]] = None):
+    def __init__(self, trace: Optional[Callable[[float, "Event"], None]] = None,
+                 tracer: Optional[Tracer] = None):
         self._now: float = 0.0
         self._heap: list = []
         self._seq: int = 0
         self._trace = trace
         self._running = False
         self._event_count = 0
+        #: tracing sink read by every instrumented layer via ``engine.tracer``
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self._progress_t0 = 0.0
         #: CPU-charge sink of the code currently executing (see
         #: :mod:`repro.sim.context`); managed by executors, read by substrates.
         self.current_context = None
@@ -128,16 +138,43 @@ class Engine:
         self._event_count += 1
         if self._trace is not None:
             self._trace(time, event)
+        tr = self.tracer
+        if tr.enabled:
+            if tr.engine_events:
+                tr.instant("sim", type(event).__name__, time)
+            every = tr.progress_every
+            if every is not None and self._event_count % every == 0:
+                tr.span("sim", "progress", self._progress_t0, time,
+                        events=self._event_count, queue_depth=len(self._heap))
+                tr.counter("sim", "queue_depth", time, float(len(self._heap)))
+                self._progress_t0 = time
         event._fire()
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+    def budget_error(self, max_events: int) -> SimulationError:
+        """The event-budget-exhausted error, including how many events are
+        still queued but unfired — a drained-vs-live queue distinguishes a
+        genuine deadlock from a model that is simply still making progress."""
+        return SimulationError(
+            f"event budget exhausted ({max_events} events fired) at "
+            f"t={self._now:.6g}s with {len(self._heap)} queued-but-unfired "
+            f"events still pending"
+        )
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None,
+            trace_every: Optional[int] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or the event
         budget ``max_events`` is exhausted.
+
+        ``trace_every`` emits a progress record to the engine's tracer every
+        N fired events (independent of the tracer's own ``progress_every``),
+        so long runs can be watched from the timeline.
 
         Returns the simulated time at which the run stopped.
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
+        if trace_every is not None and trace_every < 1:
+            raise SimulationError(f"trace_every must be >= 1, got {trace_every}")
         self._running = True
         fired = 0
         try:
@@ -147,11 +184,14 @@ class Engine:
                     self._now = until
                     break
                 if max_events is not None and fired >= max_events:
-                    raise SimulationError(
-                        f"event budget exhausted ({max_events} events) at t={self._now:.6g}s"
-                    )
+                    raise self.budget_error(max_events)
                 self.step()
                 fired += 1
+                if trace_every is not None and fired % trace_every == 0:
+                    tr = self.tracer
+                    if tr.enabled:
+                        tr.instant("sim", "run_progress", self._now,
+                                   fired=fired, queue_depth=len(self._heap))
             else:
                 if until is not None and until > self._now:
                     self._now = until
@@ -171,7 +211,7 @@ class Engine:
                     f"with process {process!r} still pending"
                 )
             if max_events is not None and fired >= max_events:
-                raise SimulationError(f"event budget exhausted ({max_events} events)")
+                raise self.budget_error(max_events)
             self.step()
             fired += 1
         if not process.ok:

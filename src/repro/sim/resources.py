@@ -96,10 +96,16 @@ class Mutex:
             raise SimulationError(f"release of unheld mutex {self.name!r}")
         now = self.engine.now
         self.stats.total_hold_time += now - self._acquired_at
+        tr = self.engine.tracer
+        if tr.enabled and now > self._acquired_at:
+            tr.span("sim", f"lock_hold:{self.name}", self._acquired_at, now)
         if self._waiters:
             ev, enqueued_at = self._waiters.popleft()
             self.stats.acquisitions += 1
             self.stats.total_wait_time += now - enqueued_at
+            if tr.enabled and now > enqueued_at:
+                tr.span("sim", f"lock_wait:{self.name}", enqueued_at, now,
+                        queue_depth=len(self._waiters))
             self._acquired_at = now
             ev.succeed()
         else:
@@ -145,7 +151,12 @@ class Resource:
         if self._waiters:
             ev, enqueued_at = self._waiters.popleft()
             self.stats.acquisitions += 1
-            self.stats.total_wait_time += self.engine.now - enqueued_at
+            now = self.engine.now
+            self.stats.total_wait_time += now - enqueued_at
+            tr = self.engine.tracer
+            if tr.enabled and now > enqueued_at:
+                tr.span("sim", f"lock_wait:{self.name}", enqueued_at, now,
+                        queue_depth=len(self._waiters))
             ev.succeed()
         else:
             self._in_use -= 1

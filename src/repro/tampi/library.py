@@ -45,8 +45,8 @@ class TAMPI:
         self.runtime = runtime
         self.mpi = mpi_rank
         self.poll_period_us = poll_period_us
-        #: (request, owning task, registered-from-onready) triples
-        self._pending: List[Tuple[Request, Task, bool]] = []
+        #: (request, owning task, registered-from-onready, registered-at)
+        self._pending: List[Tuple[Request, Task, bool, float]] = []
         self.work = PollableWork(runtime.engine)
         self.stats_iwaits = 0
         self.stats_completed = 0
@@ -70,7 +70,7 @@ class TAMPI:
         if task is None:
             raise TaskingError("TAMPI_Iwait called outside a task")
         task.add_event(1)
-        self._pending.append((request, task, task._in_onready))
+        self._pending.append((request, task, task._in_onready, self.runtime.engine.now))
         self.work.notify_work(1)
         self.stats_iwaits += 1
 
@@ -92,14 +92,21 @@ class TAMPI:
         if not done_idx:
             return
         done = set(done_idx)
+        tr = self.runtime.engine.tracer
         completed: List[Tuple[Task, bool]] = []
-        still: List[Tuple[Request, Task, bool]] = []
-        for i, (req, task, is_pre) in enumerate(self._pending):
+        still: List[Tuple[Request, Task, bool, float]] = []
+        for i, (req, task, is_pre, registered_at) in enumerate(self._pending):
             if i in done:
                 completed.append((task, is_pre))
                 self.stats_completed += 1
+                if tr.enabled:
+                    # iwait registration -> completion detection at the lock
+                    # grant (includes the poller's lock wait, §VI-C)
+                    tr.span("tampi", "iwait.pending", registered_at, grant.end,
+                            rank=self.mpi.rank, task=task.label,
+                            lock_wait=grant.wait)
             else:
-                still.append((req, task, is_pre))
+                still.append((req, task, is_pre, registered_at))
         self._pending = still
         self.work.retire(len(done))
         if grant.wait <= 0.0:

@@ -19,6 +19,8 @@ used by applications and the task-aware libraries:
 
 from __future__ import annotations
 
+import itertools
+
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Iterable, List, Optional
 
@@ -76,11 +78,14 @@ class Runtime:
         self.config = config or RuntimeConfig()
         self.name = name
         self.deps = DependencyTracker()
+        self._task_uids = itertools.count()
         self._ready = ReadyQueue()
         self.current_task: Optional[Task] = None
         self.stats = RuntimeStats()
         self._outstanding = 0
         self._taskwait_waiters: List[Event] = []
+        #: onready-blocked timestamps, kept only while a tracer is enabled
+        self._blocked_at: dict = {}
         self._shutdown_sentinel = object()
         self._shut_down = False
         self.workers = [Worker(self, i) for i in range(self.config.n_cores)]
@@ -186,12 +191,25 @@ class Runtime:
                 self.current_task = prev
         if task.pre_events > 0:
             task.state = TaskState.READY_BLOCKED
+            tr = self.engine.tracer
+            if tr.enabled:
+                self._blocked_at[task.uid] = self.engine.now
+                tr.instant("tasking", "ready_blocked", self.engine.now,
+                           rank=self.name, task=task.label, uid=task.uid,
+                           pre_events=task.pre_events)
             return
         self._enqueue_ready(task)
 
     def _enqueue_ready(self, task: Task) -> None:
         task.state = TaskState.READY
         task.ready_at = self.engine.now
+        tr = self.engine.tracer
+        if tr.enabled:
+            t0 = self._blocked_at.pop(task.uid, None)
+            if t0 is not None:
+                # execution delayed by onready-registered events (§V-A)
+                tr.span("tasking", "onready_wait", t0, self.engine.now,
+                        rank=self.name, task=task.label, uid=task.uid)
         self._ready.push(task, high=task.priority)
 
     def _complete(self, task: Task) -> None:
@@ -199,6 +217,13 @@ class Runtime:
             raise TaskingError(f"{task!r} completed twice")
         task.state = TaskState.COMPLETED
         task.completed_at = self.engine.now
+        tr = self.engine.tracer
+        if tr.enabled and task.completed_at > task.finished_at:
+            # body returned but external events held completion (grey tasks
+            # of the paper's Fig. 1)
+            tr.span("tasking", "event_wait", task.finished_at,
+                    task.completed_at, rank=self.name, task=task.label,
+                    uid=task.uid)
         st = self.stats
         st.tasks_completed += 1
         st.total_task_cpu_time += task.cpu_time

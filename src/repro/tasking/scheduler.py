@@ -91,11 +91,17 @@ class Worker:
         rt = self.runtime
         eng = self.engine
         self.tasks_run += 1
+        on_core_since = eng.now
 
         resumed = task.generator is not None
         if not resumed:
             task.state = TaskState.RUNNING
             task.started_at = eng.now
+            tr = eng.tracer
+            if tr.enabled and eng.now > task.ready_at:
+                tr.span("tasking", "ready_wait", task.ready_at, eng.now,
+                        rank=rt.name, lane=f"w{self.index}",
+                        task=task.label, uid=task.uid)
         else:
             task.state = TaskState.RUNNING
             task.suspended_time += eng.now - task._suspend_started
@@ -111,9 +117,11 @@ class Worker:
                 task.generator = result
             else:
                 yield from self._realize(task)
+                self._emit_on_core(task, on_core_since, "finished")
                 self._on_body_done(task)
                 return
         elif task.body is None:
+            self._emit_on_core(task, on_core_since, "finished")
             self._on_body_done(task)
             return
         else:
@@ -128,6 +136,7 @@ class Worker:
             except StopIteration:
                 rt.current_task = None
                 yield from self._realize(task)
+                self._emit_on_core(task, on_core_since, "finished")
                 self._on_body_done(task)
                 return
             except BaseException:
@@ -139,12 +148,14 @@ class Worker:
             if isinstance(item, Sleep):
                 task.state = TaskState.SUSPENDED
                 task._suspend_started = eng.now
+                self._emit_on_core(task, on_core_since, "sleep")
                 wake = eng.timeout(item.seconds)
                 wake.add_callback(lambda _ev, t=task: rt._ready.push(t, high=True))
                 return  # core freed; another worker resumes the task
             if isinstance(item, BlockOn):
                 task.state = TaskState.SUSPENDED
                 task._suspend_started = eng.now
+                self._emit_on_core(task, on_core_since, "park")
                 item.event.add_callback(lambda _ev, t=task: rt._ready.push(t, high=True))
                 return
             if isinstance(item, Event):
@@ -157,6 +168,15 @@ class Worker:
                 f"task {task.label}#{task.uid} yielded {item!r}; expected "
                 "Event, Sleep, or BlockOn"
             )
+
+    def _emit_on_core(self, task: Task, t0: float, outcome: str) -> None:
+        """One on-core interval of ``task`` on this worker (a task-state
+        timeline lane per core, like the paper's Paraver views)."""
+        tr = self.engine.tracer
+        if tr.enabled:
+            tr.span("tasking", task.label, t0, self.engine.now,
+                    rank=self.runtime.name, lane=f"w{self.index}",
+                    uid=task.uid, outcome=outcome)
 
     def _realize(self, task: Task):
         """Turn lazily-charged CPU into core-busy simulated time."""

@@ -26,15 +26,12 @@ The two event counters:
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.tasking.runtime import Runtime
-
-_task_ids = itertools.count()
 
 
 class TaskState(enum.Enum):
@@ -117,7 +114,9 @@ class Task:
         onready: Optional[Callable[["Task"], None]] = None,
         priority: bool = False,
     ):
-        self.uid = next(_task_ids)
+        # runtime-local: uids (and thus traces/reprs) are a pure function
+        # of the run, never of process history
+        self.uid = next(runtime._task_uids)
         self.runtime = runtime
         self.body = body
         self.deps = deps

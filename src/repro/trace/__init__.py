@@ -1,0 +1,39 @@
+"""Unified tracing & metrics (the reproduction's Extrae/Paraver stand-in).
+
+The paper's performance analysis (§VI) rests on timelines that attribute
+time to MPI calls, GASPI notifications, lock contention, and task states.
+This package provides the equivalent evidence for the simulated stack:
+
+* :class:`Tracer` — typed span/instant/counter records collected from every
+  instrumented layer (``sim``, ``net``, ``mpi``, ``gaspi``/``tagaspi``/
+  ``tampi``, ``tasking``). A process-wide :data:`NULL_TRACER` keeps the
+  disabled path zero-cost: every instrumentation site is guarded by a
+  single ``tracer.enabled`` attribute check and records nothing.
+* :mod:`repro.trace.exporters` — Chrome ``chrome://tracing`` / Perfetto
+  JSON export plus a plain-text per-rank timeline.
+* :class:`MetricsRegistry` — sweeps per-layer counters (time-in-MPI, lock
+  wait, message/notification counts, …) into one flat dict; the harness
+  attaches the sweep to every :class:`~repro.harness.metrics.VariantResult`.
+* ``python -m repro.trace.view trace.json`` — CLI summary of an exported
+  trace (top categories/names by total time).
+"""
+
+from repro.trace.tracer import NULL_TRACER, TraceRecord, Tracer
+from repro.trace.registry import MetricsRegistry
+from repro.trace.exporters import (
+    chrome_trace,
+    load_chrome_trace,
+    text_timeline,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Tracer",
+    "NULL_TRACER",
+    "TraceRecord",
+    "MetricsRegistry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "text_timeline",
+]

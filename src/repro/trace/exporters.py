@@ -1,0 +1,130 @@
+"""Trace exporters: Chrome/Perfetto JSON and plain-text timelines.
+
+The JSON exporter emits the Chrome Trace Event Format (the ``traceEvents``
+array form) understood by ``chrome://tracing`` and https://ui.perfetto.dev:
+spans become complete (``"X"``) events, instants ``"i"``, counters ``"C"``.
+Each distinct record ``rank`` becomes one process (pid) with a
+``process_name`` metadata event; each ``lane`` within it one thread (tid).
+
+Timestamps are exported in microseconds of *simulated* time, so a Paraver-
+style reading of the timeline (who waits on what, when) maps one-to-one to
+the paper's Extrae figures.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.tracer import TraceRecord, Tracer
+
+#: sentinel process for records with no rank attribution
+GLOBAL_RANK = "global"
+
+
+def _rank_key(rank: object) -> object:
+    return GLOBAL_RANK if rank is None else rank
+
+
+def _rank_sort_key(rank: object) -> Tuple[int, str]:
+    # ints first (numeric order), then strings; deterministic for mixed keys
+    if isinstance(rank, int):
+        return (0, f"{rank:012d}")
+    return (1, str(rank))
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """Convert ``tracer``'s records to a Chrome Trace Event Format dict."""
+    ranks = sorted({_rank_key(r.rank) for r in tracer.records}, key=_rank_sort_key)
+    pid_of: Dict[object, int] = {r: i for i, r in enumerate(ranks)}
+    lanes: Dict[object, List[str]] = {r: [] for r in ranks}
+    for rec in tracer.records:
+        rk, lane = _rank_key(rec.rank), rec.lane or ""
+        if lane not in lanes[rk]:
+            lanes[rk].append(lane)
+    tid_of: Dict[Tuple[object, str], int] = {}
+    for rk in ranks:
+        for i, lane in enumerate(sorted(lanes[rk])):
+            tid_of[(rk, lane)] = i
+
+    events: List[dict] = []
+    for rk in ranks:
+        pid = pid_of[rk]
+        label = f"rank {rk}" if isinstance(rk, int) else str(rk)
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "args": {"name": label}})
+        for lane in sorted(lanes[rk]):
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid_of[(rk, lane)],
+                           "args": {"name": lane or "main"}})
+
+    for rec in tracer.records:
+        rk = _rank_key(rec.rank)
+        pid = pid_of[rk]
+        tid = tid_of[(rk, rec.lane or "")]
+        ts = rec.t0 * 1e6
+        if rec.kind == "span":
+            events.append({
+                "ph": "X", "cat": rec.category, "name": rec.name,
+                "pid": pid, "tid": tid, "ts": ts,
+                "dur": (rec.t1 - rec.t0) * 1e6, "args": dict(rec.args),
+            })
+        elif rec.kind == "instant":
+            events.append({
+                "ph": "i", "cat": rec.category, "name": rec.name,
+                "pid": pid, "tid": tid, "ts": ts, "s": "t",
+                "args": dict(rec.args),
+            })
+        else:  # counter
+            events.append({
+                "ph": "C", "cat": rec.category, "name": rec.name,
+                "pid": pid, "ts": ts,
+                "args": {"value": rec.args.get("value", 0.0)},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> dict:
+    """Export ``tracer`` to ``path`` as Chrome-trace JSON; returns the dict.
+
+    Keys are sorted so identical traces produce byte-identical files.
+    """
+    doc = chrome_trace(tracer)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+    return doc
+
+
+def load_chrome_trace(path: str) -> dict:
+    """Load a Chrome-trace JSON file (round-trip counterpart)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if "traceEvents" not in doc:
+        raise ValueError(f"{path}: not a Chrome trace (no 'traceEvents' key)")
+    return doc
+
+
+def text_timeline(tracer: Tracer, rank: object = None,
+                  limit: Optional[int] = None) -> str:
+    """Plain-text per-rank timeline of span records (a poor man's Paraver).
+
+    ``rank`` restricts to one process lane; ``limit`` truncates to the
+    first N spans by start time.
+    """
+    from repro.harness.report import format_table  # local: avoid import cycle
+
+    spans = [r for r in tracer.records if r.kind == "span"
+             and (rank is None or _rank_key(r.rank) == _rank_key(rank))]
+    spans.sort(key=lambda r: (r.t0, r.t1, r.category, r.name))
+    shown = spans if limit is None else spans[:limit]
+    rows = [
+        [f"{r.t0 * 1e6:.3f}", f"{(r.t1 - r.t0) * 1e6:.3f}",
+         str(_rank_key(r.rank)), r.lane or "-", r.category, r.name]
+        for r in shown
+    ]
+    title = "timeline" if rank is None else f"timeline (rank {rank})"
+    if len(shown) < len(spans):
+        title += f" [first {len(shown)} of {len(spans)} spans]"
+    return format_table(
+        title, ["t0 (us)", "dur (us)", "rank", "lane", "category", "name"], rows
+    )

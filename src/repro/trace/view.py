@@ -1,0 +1,79 @@
+"""CLI trace summarizer: ``python -m repro.trace.view trace.json``.
+
+Aggregates the complete ("X") events of an exported Chrome trace and prints
+the top-N categories and span names by total time — the quick look you take
+before opening the full timeline in Perfetto.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Tuple
+
+from repro.trace.exporters import load_chrome_trace
+
+
+def summarize(doc: dict, top: int = 10) -> str:
+    """Render the summary tables for a loaded Chrome-trace dict."""
+    from repro.harness.report import format_table  # local: avoid import cycle
+
+    by_cat: Dict[str, List[float]] = {}
+    by_name: Dict[Tuple[str, str], List[float]] = {}
+    n_spans = n_instants = n_counters = 0
+    for ev in doc.get("traceEvents", []):
+        ph = ev.get("ph")
+        if ph == "X":
+            n_spans += 1
+            cat, name, dur = ev.get("cat", "?"), ev.get("name", "?"), ev.get("dur", 0.0)
+            agg = by_cat.setdefault(cat, [0, 0.0])
+            agg[0] += 1
+            agg[1] += dur
+            agg = by_name.setdefault((cat, name), [0, 0.0])
+            agg[0] += 1
+            agg[1] += dur
+        elif ph == "i":
+            n_instants += 1
+        elif ph == "C":
+            n_counters += 1
+
+    cat_rows = sorted(by_cat.items(), key=lambda kv: -kv[1][1])[:top]
+    name_rows = sorted(by_name.items(), key=lambda kv: -kv[1][1])[:top]
+    parts = [
+        f"{n_spans} spans, {n_instants} instants, {n_counters} counter samples",
+        "",
+        format_table(
+            f"top {len(cat_rows)} categories by total time",
+            ["category", "spans", "total (us)"],
+            [[cat, cnt, tot] for cat, (cnt, tot) in cat_rows],
+        ),
+        "",
+        format_table(
+            f"top {len(name_rows)} span names by total time",
+            ["category", "name", "spans", "total (us)"],
+            [[cat, name, cnt, tot] for (cat, name), (cnt, tot) in name_rows],
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace.view",
+        description="Summarize an exported Chrome-trace JSON file.",
+    )
+    parser.add_argument("trace", help="path to a trace.json exported by repro.trace")
+    parser.add_argument("-n", "--top", type=int, default=10,
+                        help="show the top N categories/names (default 10)")
+    args = parser.parse_args(argv)
+    try:
+        doc = load_chrome_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(summarize(doc, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

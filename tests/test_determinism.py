@@ -1,12 +1,15 @@
 """Reproducibility guarantees across the full application runners: the
 figures in EXPERIMENTS.md must regenerate exactly."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.apps.miniamr import AMRParams, build_mesh_schedule, run_miniamr
 from repro.apps.streaming import StreamingParams, run_streaming
 from repro.harness import JobSpec, MARENOSTRUM4
+from repro.trace import Tracer, chrome_trace
 
 MACH4 = MARENOSTRUM4.with_cores(4)
 
@@ -64,3 +67,22 @@ class TestRunnerDeterminism:
             return run_streaming(spec, params)
 
         assert run().sim_time == run().sim_time
+
+    def test_identical_seeds_give_identical_traces(self):
+        """The trace is a pure function of the run: identical seeds must
+        export byte-identical Chrome-trace documents."""
+        params = StreamingParams(chunks=4, elements_per_chunk=1024,
+                                 block_size=128, compute_data=False)
+
+        def run():
+            tracer = Tracer(progress_every=200)
+            spec = JobSpec(machine=MACH4, n_nodes=3, variant="tagaspi",
+                           poll_period_us=25, seed=9)
+            run_streaming(spec, params, tracer=tracer)
+            return tracer
+
+        a, b = run(), run()
+        assert len(a) == len(b) > 0
+        assert a.records == b.records
+        dump = lambda t: json.dumps(chrome_trace(t), sort_keys=True)
+        assert dump(a) == dump(b)

@@ -124,3 +124,9 @@ class TestReport:
     def test_format_series_missing_points(self):
         out = format_series("S", "n", {"v1": {1: 1.0}, "v2": {2: 2.0}}, [1, 2])
         assert "-" in out
+
+    def test_format_table_renders_none_as_dash(self):
+        out = format_table("T", ["a", "b"], [[None, 1.0], ["x", None]])
+        rows = out.splitlines()[4:]
+        assert rows[0].split() == ["-", "1"]
+        assert rows[1].split() == ["x", "-"]
