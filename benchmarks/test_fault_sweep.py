@@ -1,0 +1,60 @@
+"""Fault-intensity sweep guard (docs/faults.md).
+
+Runs Gauss–Seidel under the none/mild/severe fault plans across all three
+variants and asserts the invariants the fault subsystem guarantees:
+
+* every variant completes under every plan (retransmission and recovery
+  keep the graph live — no deadlock);
+* the injected/retransmitted counters are monotonically non-decreasing in
+  fault intensity;
+* the fault-free point reports exactly zero fault activity.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.apps.gauss_seidel import GSParams
+from repro.apps.gauss_seidel.runner import run_gauss_seidel
+from repro.faults import FaultPlan, RecoveryPolicy
+from repro.harness import MARENOSTRUM4, fault_sweep_table, run_variants
+
+MACH = MARENOSTRUM4.with_cores(4)
+PARAMS = GSParams(rows=256, cols=256, timesteps=4, block_size=64)
+PLANS = {
+    "none": None,
+    "mild": FaultPlan.mild(recovery=RecoveryPolicy(op_timeout=10e-3)),
+    "severe": FaultPlan.severe(recovery=RecoveryPolicy(op_timeout=10e-3)),
+}
+ORDER = ["none", "mild", "severe"]
+
+
+@pytest.mark.faults
+def test_gs_fault_intensity_sweep():
+    results = run_variants(run_gauss_seidel, MACH, 4, PARAMS, faults=PLANS)
+    emit(fault_sweep_table("Gauss-Seidel under fault injection "
+                           f"({MACH.name}, 4 nodes)", results))
+    for variant, by_label in results.items():
+        for label in ORDER:
+            res = by_label[label]
+            assert res.sim_time > 0, f"{variant}/{label} did not complete"
+        none, mild, severe = (by_label[k].extra for k in ORDER)
+        assert none["fault_injected"] == 0.0
+        assert none["fault_retransmits"] == 0.0
+        assert none["fault_timeouts"] == 0.0
+        # counters non-decreasing with intensity
+        for key in ("fault_injected", "fault_retransmits"):
+            assert none[key] <= mild[key] <= severe[key], (
+                f"{variant}: {key} not monotone: "
+                f"{none[key]} / {mild[key]} / {severe[key]}"
+            )
+        assert mild["fault_injected"] > 0.0, f"{variant}: mild plan injected nothing"
+
+
+@pytest.mark.faults
+def test_faulted_points_pay_a_time_cost():
+    """Severe faults must not make a run *faster* than fault-free: drops
+    only ever add retransmission or recovery latency."""
+    results = run_variants(run_gauss_seidel, MACH, 4, PARAMS,
+                           variants=("mpi",), faults=PLANS)
+    by_label = results["mpi"]
+    assert by_label["severe"].sim_time >= by_label["none"].sim_time

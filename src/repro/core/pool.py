@@ -23,7 +23,8 @@ ACQUIRE_COST = 0.02e-6
 class PendingNotification:
     """State of one in-flight ``tagaspi_notify_iwait``."""
 
-    __slots__ = ("seg_id", "notif_id", "out", "task", "is_pre")
+    __slots__ = ("seg_id", "notif_id", "out", "task", "is_pre",
+                 "registered_at")
 
     def __init__(self) -> None:
         self.seg_id = -1
@@ -31,13 +32,17 @@ class PendingNotification:
         self.out: Optional[object] = None
         self.task = None
         self.is_pre = False
+        #: registration time, used by the recovery policy's deadline check
+        self.registered_at = 0.0
 
-    def assign(self, seg_id: int, notif_id: int, out, task, is_pre: bool) -> "PendingNotification":
+    def assign(self, seg_id: int, notif_id: int, out, task, is_pre: bool,
+               registered_at: float = 0.0) -> "PendingNotification":
         self.seg_id = seg_id
         self.notif_id = notif_id
         self.out = out
         self.task = task
         self.is_pre = is_pre
+        self.registered_at = registered_at
         return self
 
     def clear(self) -> None:

@@ -27,6 +27,8 @@ from typing import List, Optional, Sequence
 
 from repro.core.mpsc import MPSCQueue
 from repro.core.pool import ObjectPool, PendingNotification
+from repro.faults.plan import RecoveryPolicy
+from repro.faults.report import FaultAbort
 from repro.gaspi.operations import (
     GASPI_OP_NOTIFY,
     GASPI_OP_READ,
@@ -48,6 +50,27 @@ MAX_REQS = 64
 NOTIF_TEST_COST = 0.03e-6
 
 
+class _TrackedOp:
+    """Recovery bookkeeping for one submitted operation (recovery mode
+    only): enough to purge its low-level requests and re-submit it."""
+
+    __slots__ = ("op", "queue", "params", "task", "is_pre", "nreq",
+                 "remaining", "reqs", "deadline", "retries")
+
+    def __init__(self, op, queue, params, task, is_pre, nreq, deadline):
+        self.op = op
+        self.queue = queue
+        self.params = params
+        self.task = task
+        self.is_pre = is_pre
+        self.nreq = nreq
+        #: low-level requests not yet harvested
+        self.remaining = nreq
+        self.reqs: List = []
+        self.deadline = deadline
+        self.retries = 0
+
+
 class TAGASPI:
     """Per-rank TAGASPI instance binding a tasking runtime to a GASPI rank.
 
@@ -60,22 +83,37 @@ class TAGASPI:
     poll_period_us:
         Polling-task period in microseconds (paper §VI: 150µs for
         Gauss–Seidel / miniAMR, 50µs for Streaming).
+    recovery:
+        Optional :class:`repro.faults.RecoveryPolicy`. When set, every
+        task-bound operation is deadline-tracked: an operation that is not
+        locally complete within ``op_timeout`` is treated as a
+        ``GASPI_ERR_TIMEOUT``, its low-level requests are purged, and it
+        is re-submitted on the next queue (bounded retries with backoff).
+        On exhaustion the policy either *releases* the task's events
+        (degraded but live) or *aborts* with a structured
+        :class:`~repro.faults.FaultAbort`.
     """
 
     def __init__(self, runtime: Runtime, gaspi_rank: GaspiRank,
-                 poll_period_us: float = 150.0):
+                 poll_period_us: float = 150.0,
+                 recovery: Optional[RecoveryPolicy] = None):
         self.runtime = runtime
         self.gaspi = gaspi_rank
         self.poll_period_us = poll_period_us
+        self.recovery = recovery
         self.mpsc = MPSCQueue(runtime.engine)
         self.pool = ObjectPool(runtime.engine)
         #: the poller's working set of pending notifications (stands in for
         #: the Boost intrusive list of §IV-D)
         self._pending_notifs: List[PendingNotification] = []
+        #: deadline-tracked operations (recovery mode only)
+        self._tracked: List[_TrackedOp] = []
         self.work = PollableWork(runtime.engine)
         self.stats_ops = 0
         self.stats_notif_waits = 0
         self.stats_notif_immediate = 0
+        self.stats_resubmits = 0
+        self.stats_releases = 0
         self._poller = spawn_polling_service(
             runtime, self.poll_requests, poll_period_us, self.work,
             label="tagaspi.poll",
@@ -125,12 +163,22 @@ class TAGASPI:
         if task is None and required_task:
             raise TaskingError(f"tagaspi_{op} called outside a task")
         nreq = low_level_requests(op)
+        rec = None
         if task is not None:
             task.add_event(nreq)
-            tag = (task, task._in_onready)
+            if self.recovery is not None:
+                rec = _TrackedOp(op, queue, dict(params), task,
+                                 task._in_onready, nreq,
+                                 self.runtime.engine.now + self.recovery.op_timeout)
+                self._tracked.append(rec)
+                tag = (task, task._in_onready, rec)
+            else:
+                tag = (task, task._in_onready)
         else:
             tag = None
-        self.gaspi.operation_submit(op, tag, queue, **params)
+        reqs = self.gaspi.operation_submit(op, tag, queue, **params)
+        if rec is not None:
+            rec.reqs = reqs
         self.work.notify_work(nreq)
         self.stats_ops += 1
 
@@ -158,7 +206,9 @@ class TAGASPI:
                            rank=self.gaspi.rank, seg=seg_id, notif_id=notif_id)
             return
         task.add_event(1)
-        obj = self.pool.acquire().assign(seg_id, notif_id, out, task, task._in_onready)
+        obj = self.pool.acquire().assign(seg_id, notif_id, out, task,
+                                         task._in_onready,
+                                         self.runtime.engine.now)
         self.mpsc.push(obj)
         self.work.notify_work(1)
         self.stats_notif_waits += 1
@@ -182,7 +232,11 @@ class TAGASPI:
         for q in range(len(self.gaspi.queues)):
             for req in self.gaspi.request_wait(q, MAX_REQS):
                 if req.tag is not None:
-                    task, is_pre = req.tag
+                    # tag is (task, is_pre) or, in recovery mode,
+                    # (task, is_pre, tracked_op)
+                    task, is_pre = req.tag[0], req.tag[1]
+                    if len(req.tag) > 2:
+                        req.tag[2].remaining -= 1
                     if is_pre:
                         task.fulfill_pre_event(1)
                     else:
@@ -228,6 +282,132 @@ class TAGASPI:
                            rank=self.gaspi.rank)
         if retired:
             self.work.retire(retired)
+        if self.recovery is not None and (self._tracked or self._pending_notifs):
+            self._check_recovery(eng.now)
+
+    # ------------------------------------------------------------------
+    # timeout recovery (GASPI_ERR_TIMEOUT handling, repro.faults)
+    # ------------------------------------------------------------------
+    def _check_recovery(self, now: float) -> None:
+        """Deadline-check the tracked operations (one pass per poll).
+
+        A timed-out operation is purged from its queue and re-submitted on
+        the *next* queue (failing over the channel, as a real GASPI
+        recovery path would after ``gaspi_queue_purge``), with the
+        deadline stretched by the policy's backoff per retry. Partially
+        completed operations are never re-submitted — their surviving
+        requests are purged and the missing events released.
+        """
+        policy = self.recovery
+        inj = self.gaspi.cluster.injector
+        keep: List[_TrackedOp] = []
+        for rec in self._tracked:
+            if rec.remaining <= 0:
+                continue  # completed since last pass
+            if now < rec.deadline:
+                keep.append(rec)
+                continue
+            self._account_timeout(rec, inj, now)
+            if rec.retries < policy.max_retries and rec.remaining == rec.nreq:
+                self.gaspi.purge_requests(rec.queue, rec.reqs)
+                rec.retries += 1
+                rec.queue = (rec.queue + 1) % len(self.gaspi.queues)
+                rec.deadline = now + policy.op_timeout * (
+                    policy.backoff ** rec.retries)
+                tag = (rec.task, rec.is_pre, rec)
+                rec.reqs = self.gaspi.operation_submit(
+                    rec.op, tag, rec.queue, **rec.params)
+                self.stats_resubmits += 1
+                if inj is not None:
+                    inj.stats.resubmits += 1
+                    inj.report.record(now, "tagaspi", "resubmit",
+                                      rank=self.gaspi.rank, op=rec.op,
+                                      queue=rec.queue, retry=rec.retries)
+                keep.append(rec)
+                continue
+            # exhausted (or partially completed): give up on this op
+            self.gaspi.purge_requests(rec.queue, rec.reqs)
+            if inj is not None:
+                inj.report.record(now, "tagaspi", "exhausted",
+                                  rank=self.gaspi.rank, op=rec.op,
+                                  retries=rec.retries,
+                                  policy=policy.on_exhaustion)
+            if policy.on_exhaustion == "abort":
+                self._tracked = keep + [r for r in self._tracked
+                                        if r is not rec and r.remaining > 0]
+                report = inj.report if inj is not None else None
+                raise FaultAbort(
+                    f"tagaspi rank {self.gaspi.rank}: {rec.op} gave up "
+                    f"after {rec.retries} retries",
+                    report=report, rank=self.gaspi.rank, op=rec.op,
+                )
+            # release: fulfill the task's missing events so the graph
+            # drains — degraded data, but no deadlock
+            if rec.is_pre:
+                rec.task.fulfill_pre_event(rec.remaining)
+            else:
+                rec.task.fulfill_event(rec.remaining)
+            self.work.retire(rec.remaining)
+            rec.remaining = 0
+            self.stats_releases += 1
+            if inj is not None:
+                inj.stats.released += 1
+        self._tracked = keep
+        self._check_notification_deadlines(now, policy, inj)
+
+    def _check_notification_deadlines(self, now: float, policy, inj) -> None:
+        """Deadline-check the pending notification waits.
+
+        A notification that never arrives (the producer died, or its
+        write_notify was permanently lost) has nothing the *receiver* can
+        re-submit, so exhaustion semantics apply directly: release the
+        waiting task's event (degraded data, graph drains) or abort."""
+        expired = [o for o in self._pending_notifs
+                   if now - o.registered_at > policy.op_timeout]
+        if not expired:
+            return
+        tr = self.runtime.engine.tracer
+        if policy.on_exhaustion == "abort":
+            obj = expired[0]
+            if inj is not None:
+                inj.stats.gaspi_timeouts += 1
+            report = inj.report if inj is not None else None
+            raise FaultAbort(
+                f"tagaspi rank {self.gaspi.rank}: notification "
+                f"(seg {obj.seg_id}, id {obj.notif_id}) never arrived "
+                f"(> {policy.op_timeout:.6g}s)",
+                report=report, rank=self.gaspi.rank, op="notify_iwait",
+            )
+        gone = set(map(id, expired))
+        self._pending_notifs = [o for o in self._pending_notifs
+                                if id(o) not in gone]
+        for obj in expired:
+            if inj is not None:
+                inj.stats.gaspi_timeouts += 1
+                inj.stats.released += 1
+                inj.report.record(now, "tagaspi", "notify_timeout",
+                                  rank=self.gaspi.rank, seg=obj.seg_id,
+                                  notif_id=obj.notif_id,
+                                  pending_s=now - obj.registered_at)
+            if tr.enabled:
+                tr.instant("faults", "notify_timeout", now,
+                           rank=self.gaspi.rank, seg=obj.seg_id,
+                           notif_id=obj.notif_id)
+            if obj.is_pre:
+                obj.task.fulfill_pre_event(1)
+            else:
+                obj.task.fulfill_event(1)
+            self.pool.release(obj)
+            self.stats_releases += 1
+        self.work.retire(len(expired))
+
+    def _account_timeout(self, rec: _TrackedOp, inj, now: float) -> None:
+        if inj is not None:
+            inj.stats.gaspi_timeouts += 1
+        tr = self.runtime.engine.tracer
+        if tr.enabled:
+            tr.instant("faults", "op_timeout", now, rank=self.gaspi.rank,
+                       op=rec.op, queue=rec.queue, retry=rec.retries)
 
     @property
     def pending_notification_count(self) -> int:

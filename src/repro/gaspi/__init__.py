@@ -25,7 +25,13 @@ Offsets and counts in this model are in *elements* of the segment's dtype
 simplification documented in DESIGN.md.
 """
 
-from repro.gaspi.errors import GaspiError
+from repro.gaspi.errors import (
+    GASPI_ERR_TIMEOUT,
+    GASPI_SUCCESS,
+    GaspiError,
+    GaspiQueueError,
+    GaspiTimeout,
+)
 from repro.gaspi.segments import Segment
 from repro.gaspi.queues import GaspiQueue, LowLevelRequest
 from repro.gaspi.operations import (
@@ -33,6 +39,8 @@ from repro.gaspi.operations import (
     GASPI_OP_WRITE_NOTIFY,
     GASPI_OP_NOTIFY,
     GASPI_OP_READ,
+    GASPI_STATE_CORRUPT,
+    GASPI_STATE_HEALTHY,
     GASPI_TEST,
     GASPI_BLOCK,
 )
@@ -40,6 +48,8 @@ from repro.gaspi.proc import GaspiContext, GaspiRank
 
 __all__ = [
     "GaspiError",
+    "GaspiTimeout",
+    "GaspiQueueError",
     "Segment",
     "GaspiQueue",
     "LowLevelRequest",
@@ -51,4 +61,8 @@ __all__ = [
     "GASPI_OP_READ",
     "GASPI_TEST",
     "GASPI_BLOCK",
+    "GASPI_SUCCESS",
+    "GASPI_ERR_TIMEOUT",
+    "GASPI_STATE_HEALTHY",
+    "GASPI_STATE_CORRUPT",
 ]

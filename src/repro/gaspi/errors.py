@@ -1,5 +1,56 @@
-"""GASPI model error type."""
+"""GASPI model error types and return codes.
+
+The GASPI standard is timeout-based: every potentially blocking procedure
+takes a timeout and may return ``GASPI_TIMEOUT`` instead of blocking
+forever, which is the hook applications use to survive link and process
+failures. In this Python model the non-success return codes are raised as
+structured exceptions instead of returned — :class:`GaspiTimeout` *is* the
+``GASPI_ERR_TIMEOUT`` return, carrying the rank/queue/operation context a
+recovery layer needs (TAGASPI's re-submit policy catches it; see
+``repro.core.tagaspi`` and ``docs/faults.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: return code of a successfully completed blocking call
+GASPI_SUCCESS = 0
+#: error code carried by :class:`GaspiTimeout`
+GASPI_ERR_TIMEOUT = -1
 
 
 class GaspiError(RuntimeError):
-    """Misuse of the simulated GASPI API."""
+    """Misuse of the simulated GASPI API (base of all GASPI errors)."""
+
+    code: int = -99
+
+
+class GaspiTimeout(GaspiError):
+    """A finite timeout expired before the wait condition was met
+    (``GASPI_ERR_TIMEOUT``). Recoverable: the operation is still pending
+    and may be purged (``queue_purge``) and re-submitted."""
+
+    code = GASPI_ERR_TIMEOUT
+
+    def __init__(self, message: str, *, rank: Optional[int] = None,
+                 queue: Optional[int] = None, op: Optional[str] = None,
+                 timeout: Optional[float] = None, pending: int = 0):
+        super().__init__(message)
+        self.rank = rank
+        self.queue = queue
+        self.op = op
+        self.timeout = timeout
+        #: requests/notifications still outstanding when the timeout fired
+        self.pending = pending
+
+
+class GaspiQueueError(GaspiError):
+    """Invalid queue id or queue-state misuse, with rank/queue context."""
+
+    def __init__(self, message: str, *, rank: Optional[int] = None,
+                 queue: Optional[int] = None, op: Optional[str] = None):
+        super().__init__(message)
+        self.rank = rank
+        self.queue = queue
+        self.op = op

@@ -23,6 +23,10 @@ GASPI_TEST = 0.0
 #: block until satisfied
 GASPI_BLOCK = float("inf")
 
+#: gaspi_state_vec_get health states (per remote rank)
+GASPI_STATE_HEALTHY = 0
+GASPI_STATE_CORRUPT = 1
+
 #: low-level requests created per operation type
 LOW_LEVEL_REQUESTS = {
     GASPI_OP_WRITE: 1,

@@ -15,12 +15,20 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.gaspi.errors import GaspiError
+from repro.gaspi.errors import (
+    GASPI_SUCCESS,
+    GaspiError,
+    GaspiQueueError,
+    GaspiTimeout,
+)
 from repro.gaspi.operations import (
+    GASPI_BLOCK,
     GASPI_OP_NOTIFY,
     GASPI_OP_READ,
     GASPI_OP_WRITE,
     GASPI_OP_WRITE_NOTIFY,
+    GASPI_STATE_CORRUPT,
+    GASPI_STATE_HEALTHY,
     GASPI_TEST,
     low_level_requests,
 )
@@ -68,6 +76,9 @@ class GaspiRank:
         ]
         self._read_waiters: Dict[int, Tuple[LowLevelRequest, int, int, int]] = {}
         self._read_op_seq = 0
+        #: remote ranks whose operations were purged after a timeout —
+        #: reported CORRUPT by state_vec_get until state_reset()
+        self._conn_errors: set = set()
         self.cluster.register_endpoint(rank, "gaspi", self._handle)
         sw = self.fabric.cost
         self._c_op = sw("gaspi.op", 0.4e-6)
@@ -114,9 +125,10 @@ class GaspiRank:
         count: int = 0,
         notif_id: Optional[int] = None,
         notif_val: int = 1,
-    ) -> None:
+    ) -> List[LowLevelRequest]:
         """Submit any GASPI operation with ``tag`` attached to each
-        low-level request it creates (paper §IV-C).
+        low-level request it creates (paper §IV-C); returns those requests
+        (recovery layers use them for targeted purge + re-submit).
 
         The relevant subset of parameters per operation:
 
@@ -126,12 +138,13 @@ class GaspiRank:
         * ``read``: local_seg/local_off (destination), dest,
           remote_seg/remote_off (source), count
         """
-        q = self._queue(queue)
+        q = self._queue(queue, op=operation)
         now = self.engine.now
         grant = q.device.use(self._c_op)
         charge_current(self.engine, grant.wait + self._c_op)
         depart = grant.end - now
         nreq = low_level_requests(operation)
+        reqs: List[LowLevelRequest] = []
 
         if operation in (GASPI_OP_WRITE, GASPI_OP_WRITE_NOTIFY):
             src = self.segment(local_seg).view(local_off, count)
@@ -151,8 +164,10 @@ class GaspiRank:
             )
             local_done = self.cluster.send(msg, depart_delay=depart)
             for _ in range(nreq):
-                q.post(LowLevelRequest(tag=tag, done_at=local_done, op=operation,
-                                       submitted_at=now))
+                req = LowLevelRequest(tag=tag, done_at=local_done, op=operation,
+                                      submitted_at=now, dest=msg.dst_rank)
+                q.post(req)
+                reqs.append(req)
 
         elif operation == GASPI_OP_NOTIFY:
             if notif_id is None:
@@ -164,8 +179,10 @@ class GaspiRank:
                       "notif_val": notif_val, "queue": queue},
             )
             local_done = self.cluster.send(msg, depart_delay=depart)
-            q.post(LowLevelRequest(tag=tag, done_at=local_done, op=operation,
-                                   submitted_at=now))
+            req = LowLevelRequest(tag=tag, done_at=local_done, op=operation,
+                                  submitted_at=now, dest=msg.dst_rank)
+            q.post(req)
+            reqs.append(req)
 
         elif operation == GASPI_OP_READ:
             dst_view = self.segment(local_seg).view(local_off, count)
@@ -174,8 +191,9 @@ class GaspiRank:
             # the request completes when the response lands; post with an
             # infinite done time and fix it up on arrival
             req = LowLevelRequest(tag=tag, done_at=float("inf"), op=operation,
-                                  submitted_at=now)
+                                  submitted_at=now, dest=dest)
             q.post(req)
+            reqs.append(req)
             self._read_waiters[op_id] = (req, local_seg, local_off, count)
             msg = Message(
                 self.rank, self._check_dest(dest), "gaspi", "read_req",
@@ -195,21 +213,49 @@ class GaspiRank:
                     queue=queue, count=count, wait=grant.wait)
             tr.counter("gaspi", f"q{queue}.depth", grant.end, float(q.depth),
                        rank=self.rank)
+        return reqs
 
     def request_wait(
         self, queue: int, max_reqs: int, timeout: float = GASPI_TEST
-    ) -> List[LowLevelRequest]:
+    ):
         """Harvest up to ``max_reqs`` locally-completed low-level requests
         from ``queue`` (paper §IV-C ``gaspi_request_wait``).
 
-        With ``timeout=GASPI_TEST`` (the only mode the TAGASPI poller
-        uses) this never blocks: it returns what is complete *now*. The
-        call charges CPU proportional to the number of requests returned.
+        With ``timeout=GASPI_TEST`` (the mode the TAGASPI poller uses)
+        this never blocks: it is call-shaped and returns what is complete
+        *now*, charging CPU proportional to the number of requests
+        returned. Any other timeout returns a *generator* to be driven
+        with ``yield from`` inside a simulated process: it suspends until
+        at least one request completes, raising :class:`GaspiTimeout`
+        (``GASPI_ERR_TIMEOUT``) if a finite ``timeout`` elapses first —
+        the GASPI standard's bounded-wait failure semantics.
         """
-        q = self._queue(queue)
-        done = q.harvest(max_reqs, self.engine.now)
-        charge_current(self.engine, self._c_rw_base + self._c_rw_per * len(done))
-        return done
+        q = self._queue(queue, op="request_wait")
+        if timeout == GASPI_TEST:
+            done = q.harvest(max_reqs, self.engine.now)
+            charge_current(self.engine, self._c_rw_base + self._c_rw_per * len(done))
+            return done
+        if timeout < 0.0:
+            raise GaspiError(f"negative timeout {timeout}")
+        return self._request_wait_blocking(q, queue, max_reqs, timeout)
+
+    def _request_wait_blocking(self, q, queue: int, max_reqs: int,
+                               timeout: float) -> Generator:
+        eng = self.engine
+        deadline = eng.now + timeout
+        while True:
+            done = q.harvest(max_reqs, eng.now)
+            if done:
+                charge_current(eng, self._c_rw_base + self._c_rw_per * len(done))
+                return done
+            charge_current(eng, self._c_rw_base)
+            if eng.now >= deadline:
+                raise self._timeout_error("request_wait", timeout, queue=queue,
+                                          pending=len(q.inflight))
+            pending = [r.done_at for r in q.inflight if r.done_at != float("inf")]
+            wake = min(pending) if pending else eng.now + self._poll_backoff()
+            wake = min(wake, deadline)
+            yield eng.timeout(max(wake - eng.now, 0.0))
 
     # ------------------------------------------------------------------
     # standard-style convenience wrappers
@@ -254,31 +300,129 @@ class GaspiRank:
         arrived. The primitive TAGASPI's poller is built on."""
         return self.segment(seg_id).consume(notif_id)
 
-    def notify_waitsome(self, seg_id: int, begin: int, count: int) -> Generator:
+    def notify_waitsome(self, seg_id: int, begin: int, count: int,
+                        timeout: float = GASPI_BLOCK) -> Generator:
         """Blocking wait for any notification in [begin, begin+count);
-        yields (id, value) with reset semantics. Legacy/fork-join style."""
+        yields (id, value) with reset semantics. Legacy/fork-join style.
+
+        A finite ``timeout`` bounds the wait: :class:`GaspiTimeout`
+        (``GASPI_ERR_TIMEOUT``) is raised if no notification arrives in
+        time — the application can then inspect :meth:`state_vec_get` and
+        recover instead of hanging on a failed peer.
+        """
+        if timeout < 0.0:
+            raise GaspiError(f"negative timeout {timeout}")
         seg = self.segment(seg_id)
+        deadline = self.engine.now + timeout
         while True:
             hit = seg.consume_any(begin, count)
             if hit is not None:
                 return hit
-            yield self.engine.timeout(self._poll_backoff())
+            now = self.engine.now
+            if now >= deadline:
+                raise self._timeout_error("notify_waitsome", timeout,
+                                          seg=seg_id, pending=count)
+            yield self.engine.timeout(
+                min(self._poll_backoff(), deadline - now))
 
-    def wait(self, queue: int) -> Generator:
+    def wait(self, queue: int, timeout: float = GASPI_BLOCK) -> Generator:
         """Legacy coarse-grained gaspi_wait: block until *all* operations
         posted to ``queue`` are locally complete (paper §II-B; obsoleted by
-        TAGASPI but kept for the non-task-aware baselines)."""
-        q = self._queue(queue)
+        TAGASPI but kept for the non-task-aware baselines). Returns
+        ``GASPI_SUCCESS``; a finite ``timeout`` bounds the wait and raises
+        :class:`GaspiTimeout` on expiry."""
+        if timeout < 0.0:
+            raise GaspiError(f"negative timeout {timeout}")
+        q = self._queue(queue, op="wait")
+        deadline = self.engine.now + timeout
         while True:
             q.harvest(len(q.inflight), self.engine.now)
             if not q.inflight:
-                return
+                return GASPI_SUCCESS
+            now = self.engine.now
+            if now >= deadline:
+                raise self._timeout_error("wait", timeout, queue=queue,
+                                          pending=len(q.inflight))
             pending = [r.done_at for r in q.inflight if r.done_at != float("inf")]
             if pending:
-                delay = max(min(pending) - self.engine.now, 0.0)
-                yield self.engine.timeout(delay)
+                wake = min(min(pending), deadline)
+                yield self.engine.timeout(max(wake - now, 0.0))
             else:
-                yield self.engine.timeout(self._poll_backoff())
+                yield self.engine.timeout(
+                    min(self._poll_backoff(), deadline - now))
+
+    # ------------------------------------------------------------------
+    # failure handling: health vector and queue purge (recovery support)
+    # ------------------------------------------------------------------
+    def state_vec_get(self) -> List[int]:
+        """``gaspi_state_vec_get``: per-remote-rank health vector.
+
+        A rank is reported :data:`GASPI_STATE_CORRUPT` if operations
+        toward it were purged after a timeout (sticky until
+        :meth:`state_reset`), or if the fault injector currently severs or
+        stalls the path to it; healthy ranks report
+        :data:`GASPI_STATE_HEALTHY`.
+        """
+        now = self.engine.now
+        inj = self.cluster.injector
+        my_node = self.cluster.node_of(self.rank)
+        vec = []
+        for r in range(self.context.n_ranks):
+            state = GASPI_STATE_HEALTHY
+            if r in self._conn_errors:
+                state = GASPI_STATE_CORRUPT
+            elif inj is not None and inj.active and r != self.rank:
+                node = self.cluster.node_of(r)
+                if (inj.partitioned(my_node, node, now)
+                        or inj.node_stalled(node, now)
+                        or inj.node_stalled(my_node, now)):
+                    state = GASPI_STATE_CORRUPT
+            vec.append(state)
+        return vec
+
+    def state_reset(self, rank: int) -> None:
+        """Clear the sticky error state toward ``rank`` (after recovery)."""
+        self._conn_errors.discard(rank)
+
+    def queue_purge(self, queue: int) -> int:
+        """``gaspi_queue_purge``: abandon every in-flight request on
+        ``queue`` without waiting for completion; returns how many were
+        purged. The recovery step after a :class:`GaspiTimeout` — the
+        queue is immediately reusable for re-submission."""
+        q = self._queue(queue, op="queue_purge")
+        return self._purge(q, q.purge())
+
+    def purge_requests(self, queue: int, reqs: List[LowLevelRequest]) -> int:
+        """Targeted purge of specific requests (TAGASPI recovery): abandon
+        only ``reqs`` on ``queue``, leaving other operations in flight."""
+        q = self._queue(queue, op="purge_requests")
+        return self._purge(q, q.remove(reqs))
+
+    def _purge(self, q, removed: List[LowLevelRequest]) -> int:
+        if not removed:
+            return 0
+        charge_current(self.engine, self._c_op)
+        dropped_ids = {id(r) for r in removed}
+        # forget read waiters whose request was purged: a late read_resp
+        # must not overwrite the re-submitted read's buffer
+        self._read_waiters = {
+            op_id: entry for op_id, entry in self._read_waiters.items()
+            if id(entry[0]) not in dropped_ids
+        }
+        for r in removed:
+            if r.dest is not None:
+                self._conn_errors.add(r.dest)
+        inj = self.cluster.injector
+        if inj is not None:
+            inj.stats.purged += len(removed)
+            inj.report.record(self.engine.now, "gaspi", "purge",
+                              rank=self.rank, queue=q.queue_id,
+                              purged=len(removed))
+        tr = self.engine.tracer
+        if tr.enabled:
+            tr.instant("faults", "queue_purge", self.engine.now,
+                       rank=self.rank, queue=q.queue_id, purged=len(removed))
+        return len(removed)
 
     # ------------------------------------------------------------------
     # endpoint
@@ -308,17 +452,54 @@ class GaspiRank:
             )
             self.cluster.send(reply)
         elif kind == "read_resp":
-            req, seg_id, off, count = self._read_waiters.pop(msg.meta["op_id"])
+            entry = self._read_waiters.pop(msg.meta["op_id"], None)
+            if entry is None:
+                # response to a read that was purged after a timeout (the
+                # op was re-submitted); drop it rather than overwrite
+                inj = self.cluster.injector
+                if inj is not None and inj.active:
+                    inj.stats.stale_reads += 1
+                    return
+                raise GaspiError(
+                    f"rank {self.rank}: read_resp for unknown op "
+                    f"{msg.meta['op_id']}"
+                )
+            req, seg_id, off, count = entry
             self.segment(seg_id).view(off, count)[:] = msg.payload
             req.done_at = self.engine.now
         else:  # pragma: no cover - defensive
             raise GaspiError(f"unknown gaspi message kind {kind!r}")
 
     # ------------------------------------------------------------------
-    def _queue(self, queue: int) -> GaspiQueue:
+    def _queue(self, queue: int, op: Optional[str] = None) -> GaspiQueue:
         if not 0 <= queue < len(self.queues):
-            raise GaspiError(f"queue {queue} out of range [0, {len(self.queues)})")
+            raise GaspiQueueError(
+                f"rank {self.rank}: queue {queue} out of range "
+                f"[0, {len(self.queues)})",
+                rank=self.rank, queue=queue, op=op,
+            )
         return self.queues[queue]
+
+    def _timeout_error(self, op: str, timeout: float, queue: Optional[int] = None,
+                       seg: Optional[int] = None, pending: int = 0) -> GaspiTimeout:
+        """Build the GASPI_ERR_TIMEOUT exception and account for it."""
+        inj = self.cluster.injector
+        if inj is not None:
+            inj.stats.gaspi_timeouts += 1
+            inj.report.record(self.engine.now, "gaspi", "timeout",
+                              rank=self.rank, op=op, queue=queue, seg=seg,
+                              pending=pending)
+        tr = self.engine.tracer
+        if tr.enabled:
+            tr.instant("faults", "gaspi_timeout", self.engine.now,
+                       rank=self.rank, op=op, queue=queue, pending=pending)
+        where = f" queue {queue}" if queue is not None else (
+            f" segment {seg}" if seg is not None else "")
+        return GaspiTimeout(
+            f"rank {self.rank}: {op}{where} timed out after {timeout:.6g}s "
+            f"({pending} pending)",
+            rank=self.rank, queue=queue, op=op, timeout=timeout, pending=pending,
+        )
 
     def _check_dest(self, dest: Optional[int]) -> int:
         if dest is None or not 0 <= dest < self.context.n_ranks:

@@ -34,12 +34,15 @@ class LowLevelRequest:
     op: str
     #: absolute sim time of submission (trace timelines)
     submitted_at: float = 0.0
+    #: destination rank (recovery diagnostics / connection health)
+    dest: "int | None" = None
 
 
 class GaspiQueue:
     """One communication queue of one rank."""
 
-    __slots__ = ("engine", "queue_id", "device", "inflight", "submitted", "harvested")
+    __slots__ = ("engine", "queue_id", "device", "inflight", "submitted",
+                 "harvested", "purged")
 
     def __init__(self, engine: Engine, rank: int, queue_id: int):
         self.engine = engine
@@ -49,6 +52,7 @@ class GaspiQueue:
         self.inflight: List[LowLevelRequest] = []
         self.submitted = 0
         self.harvested = 0
+        self.purged = 0
 
     def post(self, req: LowLevelRequest) -> None:
         self.inflight.append(req)
@@ -67,6 +71,24 @@ class GaspiQueue:
         self.inflight = remaining
         self.harvested += len(done)
         return done
+
+    def purge(self) -> List[LowLevelRequest]:
+        """``gaspi_queue_purge``: abandon *all* in-flight requests without
+        harvesting them; returns the abandoned requests."""
+        abandoned, self.inflight = self.inflight, []
+        self.purged += len(abandoned)
+        return abandoned
+
+    def remove(self, reqs: List[LowLevelRequest]) -> List[LowLevelRequest]:
+        """Abandon a specific set of requests (by identity) — the targeted
+        purge TAGASPI's recovery uses to re-submit one timed-out operation
+        without disturbing the rest of the queue."""
+        targets = {id(r) for r in reqs}
+        removed = [r for r in self.inflight if id(r) in targets]
+        if removed:
+            self.inflight = [r for r in self.inflight if id(r) not in targets]
+            self.purged += len(removed)
+        return removed
 
     @property
     def depth(self) -> int:

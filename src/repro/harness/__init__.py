@@ -14,9 +14,10 @@ documents the scaling); every figure's bench builds jobs through
 """
 
 from repro.harness.machines import Machine, MARENOSTRUM4, CTE_AMD
-from repro.harness.runner import JobSpec, Job, build_job, VariantError
+from repro.harness.runner import JobSpec, Job, build_job, VariantError, VARIANTS
 from repro.harness.metrics import VariantResult, speedup, parallel_efficiency
 from repro.harness.report import format_table, format_series
+from repro.harness.sweep import run_variants, fault_sweep_table
 
 __all__ = [
     "Machine",
@@ -26,9 +27,12 @@ __all__ = [
     "Job",
     "build_job",
     "VariantError",
+    "VARIANTS",
     "VariantResult",
     "speedup",
     "parallel_efficiency",
     "format_table",
     "format_series",
+    "run_variants",
+    "fault_sweep_table",
 ]

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core import TAGASPI
+from repro.faults import FaultInjector, FaultPlan, FaultReport
 from repro.gaspi import GaspiContext
 from repro.harness.machines import Machine
 from repro.mpi import MPIContext, MPIProcDriver
@@ -56,6 +57,9 @@ class JobSpec:
     seed: Optional[int] = 1
     #: tasking overhead configuration override
     runtime_config: Optional[RuntimeConfig] = None
+    #: fault scenario (repro.faults); None or an empty plan leaves the
+    #: simulation bit-identical to a fault-free run
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
@@ -100,6 +104,22 @@ class Job:
         self.cluster = Cluster(self.engine, spec.n_nodes, spec.machine.fabric, rng=rng)
         self.cluster.place_ranks_block(spec.n_ranks, spec.ranks_per_node)
 
+        # fault injection: installed before any substrate context so node
+        # stalls are scheduled first and the injector hook is visible to
+        # every layer. Empty/absent plans install nothing — bit-identical.
+        self.injector: Optional[FaultInjector] = None
+        self.fault_report: Optional[FaultReport] = None
+        recovery = None
+        if spec.faults is not None:
+            recovery = spec.faults.recovery
+            if not spec.faults.empty:
+                fault_rng = derive_rng(
+                    spec.seed if spec.seed is not None else 0, "faults")
+                self.injector = FaultInjector(
+                    spec.faults, self.engine, rng=fault_rng)
+                self.injector.install(self.cluster)
+                self.fault_report = self.injector.report
+
         self.mpi: Optional[MPIContext] = None
         self.gaspi: Optional[GaspiContext] = None
         self.runtimes: List[Runtime] = []
@@ -124,18 +144,21 @@ class Job:
             if spec.variant == "tampi":
                 self.mpi = MPIContext(self.cluster)
                 self.tampi = [
-                    TAMPI(self.runtimes[r], self.mpi.rank(r), spec.poll_period_us)
+                    TAMPI(self.runtimes[r], self.mpi.rank(r), spec.poll_period_us,
+                          recovery=recovery)
                     for r in range(spec.n_ranks)
                 ]
             else:  # tagaspi — MPI also available (library mixing, §VI-B)
                 self.gaspi = GaspiContext(self.cluster, n_queues=spec.n_queues)
                 self.mpi = MPIContext(self.cluster)
                 self.tagaspi = [
-                    TAGASPI(self.runtimes[r], self.gaspi.rank(r), spec.poll_period_us)
+                    TAGASPI(self.runtimes[r], self.gaspi.rank(r), spec.poll_period_us,
+                            recovery=recovery)
                     for r in range(spec.n_ranks)
                 ]
                 self.tampi = [
-                    TAMPI(self.runtimes[r], self.mpi.rank(r), spec.poll_period_us)
+                    TAMPI(self.runtimes[r], self.mpi.rank(r), spec.poll_period_us,
+                          recovery=recovery)
                     for r in range(spec.n_ranks)
                 ]
 
@@ -152,6 +175,19 @@ class Job:
         """Register one collector per substrate layer of this job."""
         reg = self.registry
         reg.register("network", self._collect_network)
+        if self.injector is not None:
+            reg.register("faults", self.injector.stats.as_dict)
+        for t in self.tagaspi:
+            if t.recovery is not None:
+                reg.register("tagaspi_recovery", lambda t=t: {
+                    "tagaspi_resubmits": t.stats_resubmits,
+                    "tagaspi_releases": t.stats_releases,
+                })
+        for t in self.tampi:
+            if t.recovery is not None:
+                reg.register("tampi_recovery", lambda t=t: {
+                    "tampi_timeouts": t.stats_timeouts,
+                })
         if self.mpi is not None:
             reg.register("mpi", self._collect_mpi)
         if self.gaspi is not None:
@@ -233,6 +269,11 @@ class Job:
         m["lock_wait_time"] = m.get("wait_in_mpi", 0.0) + m.get("gaspi_queue_wait", 0.0)
         m.setdefault("messages", 0.0)
         m.setdefault("notifications", 0.0)
+        # fault headline counters exist for every run so sweeps can compare
+        # faulted and fault-free points uniformly
+        m.setdefault("fault_injected", 0.0)
+        m.setdefault("fault_retransmits", 0.0)
+        m.setdefault("fault_timeouts", 0.0)
         self.metrics = m
         return m
 

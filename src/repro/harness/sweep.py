@@ -1,0 +1,87 @@
+"""Variant × fault-intensity sweeps.
+
+:func:`run_variants` is the harness's sweep driver: it runs one application
+runner across the paper's variants and, optionally, across a ``faults=``
+axis of named :class:`~repro.faults.FaultPlan` scenarios (the none/mild/
+severe intensity sweep of ``docs/faults.md``). Each point is an independent
+:class:`~repro.harness.runner.JobSpec`, so results are exactly what the
+single-point benches would produce.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+from repro.faults import FaultPlan
+from repro.harness.machines import Machine
+from repro.harness.metrics import VariantResult
+from repro.harness.report import format_table
+from repro.harness.runner import VARIANTS, JobSpec
+
+
+def run_variants(
+    run_fn: Callable[[JobSpec, object], VariantResult],
+    machine: Machine,
+    n_nodes: int,
+    params,
+    variants: Sequence[str] = VARIANTS,
+    faults: Optional[Mapping[str, Optional[FaultPlan]]] = None,
+    seed: Optional[int] = 1,
+    **spec_kwargs,
+) -> Dict[str, Dict[str, VariantResult]]:
+    """Run ``run_fn(spec, params)`` for every (variant, fault plan) point.
+
+    Parameters
+    ----------
+    run_fn:
+        An application runner, e.g. :func:`repro.apps.gauss_seidel.runner.
+        run_gauss_seidel`.
+    params:
+        The app's parameter object, or a callable ``variant -> params``
+        when variants need different tuning (block sizes etc.).
+    faults:
+        Ordered mapping of label -> :class:`FaultPlan` (or ``None`` for the
+        fault-free point). Omitted ⇒ a single ``"none"`` point per variant.
+    spec_kwargs:
+        Extra :class:`JobSpec` fields (``poll_period_us``, ``n_queues``…).
+
+    Returns ``{variant: {fault_label: VariantResult}}``; each result's
+    ``extra`` carries the ``fault_injected`` / ``fault_retransmits`` /
+    ``fault_timeouts`` counters (zero for fault-free points).
+    """
+    plans: Mapping[str, Optional[FaultPlan]] = (
+        {"none": None} if faults is None else dict(faults)
+    )
+    out: Dict[str, Dict[str, VariantResult]] = {}
+    for variant in variants:
+        p = params(variant) if callable(params) else params
+        out[variant] = {}
+        for label, plan in plans.items():
+            spec = JobSpec(machine=machine, n_nodes=n_nodes, variant=variant,
+                           seed=seed, faults=plan, **spec_kwargs)
+            out[variant][label] = run_fn(spec, p)
+    return out
+
+
+def fault_sweep_table(title: str,
+                      results: Dict[str, Dict[str, VariantResult]]) -> str:
+    """Render a :func:`run_variants` fault sweep as a text table with the
+    per-point injected/retransmitted/timed-out counters."""
+    rows = []
+    for variant, by_label in results.items():
+        for label, res in by_label.items():
+            rows.append([
+                variant,
+                label,
+                res.throughput,
+                res.sim_time,
+                res.extra.get("fault_injected", 0.0),
+                res.extra.get("fault_retransmits", 0.0),
+                res.extra.get("fault_timeouts", 0.0),
+            ])
+    return format_table(
+        title,
+        ["variant", "faults", "throughput", "sim_time (s)", "injected",
+         "retransmits", "timeouts"],
+        rows,
+    )

@@ -84,6 +84,10 @@ class MPIRank:
         self._pending_sends: dict = {}
         #: rendezvous recvs awaiting data, by receiver-side request uid
         self._pending_recvs: dict = {}
+        #: RTS handshakes already seen (send_uid -> recv_uid or None),
+        #: kept only under fault injection to dedup retried RTS
+        self._seen_rts: dict = {}
+        self.stats_rts_retries = 0
         self._coll_seq = 0
         self.cluster.register_endpoint(rank, "mpi", self._handle)
         # cached costs
@@ -130,7 +134,47 @@ class MPIRank:
                 meta={"tag": tag, "send_uid": req.uid, "nbytes": nbytes},
             )
             self.cluster.send(rts, depart_delay=depart)
+            inj = self.cluster.injector
+            if (inj is not None and inj.active
+                    and inj.plan.rendezvous_retry):
+                self._arm_rts_retry(req, dest, tag, nbytes, attempt=0)
         return req
+
+    # -- rendezvous handshake retry (repro.faults) ---------------------
+    def _arm_rts_retry(self, req: Request, dest: int, tag: int, nbytes: int,
+                       attempt: int) -> None:
+        """Schedule a handshake-timeout check: if no CTS arrived by the
+        RTO, the library re-sends the RTS (the receiver dedups)."""
+        inj = self.cluster.injector
+        delay = inj.plan.rendezvous_rto * (2.0 ** attempt)
+        ev = self.engine.event()
+        ev.add_callback(
+            lambda _ev: self._rts_retry(req, dest, tag, nbytes, attempt))
+        ev.succeed(delay=delay)
+
+    def _rts_retry(self, req: Request, dest: int, tag: int, nbytes: int,
+                   attempt: int) -> None:
+        if req.uid not in self._pending_sends:
+            return  # CTS arrived; handshake done
+        inj = self.cluster.injector
+        if inj is None or attempt >= inj.plan.max_rendezvous_retries:
+            return  # give up; NIC-level retransmission may still deliver
+        self.stats_rts_retries += 1
+        inj.stats.rendezvous_retries += 1
+        inj.report.record(self.engine.now, "mpi", "rts_retry", rank=self.rank,
+                          dst=dest, tag=tag, attempt=attempt + 1)
+        tr = self.engine.tracer
+        if tr.enabled:
+            tr.instant("faults", "rts_retry", self.engine.now, rank=self.rank,
+                       dst=dest, tag=tag, attempt=attempt + 1)
+        # the progress engine briefly takes the lock, like the CTS path
+        grant = self.lock.enter(self._c_handshake, "rts_retry")
+        rts = Message(
+            self.rank, dest, "mpi", "rts", CONTROL_BYTES, None,
+            meta={"tag": tag, "send_uid": req.uid, "nbytes": nbytes},
+        )
+        self.cluster.send(rts, depart_delay=grant.end - self.engine.now)
+        self._arm_rts_retry(req, dest, tag, nbytes, attempt + 1)
 
     def irecv(self, buf: Optional[np.ndarray], source: int, tag: int) -> Request:
         """Start a non-blocking receive; returns the request."""
@@ -169,6 +213,10 @@ class MPIRank:
                 f"tag={rts.meta['tag']}: recv {req.nbytes}B vs send {rts.meta['nbytes']}B"
             )
         self._pending_recvs[req.uid] = req
+        inj = self.cluster.injector
+        if inj is not None and inj.active:
+            # remember the handshake so a retried RTS maps back to this recv
+            self._seen_rts[rts.meta["send_uid"]] = req.uid
         cts = Message(
             self.rank, rts.src_rank, "mpi", "cts", CONTROL_BYTES, None,
             meta={"send_uid": rts.meta["send_uid"], "recv_uid": req.uid},
@@ -311,6 +359,21 @@ class MPIRank:
     # ------------------------------------------------------------------
     def _handle(self, msg: Message) -> None:
         if msg.kind in ("eager", "rts"):
+            if msg.kind == "rts":
+                inj = self.cluster.injector
+                if inj is not None and inj.active:
+                    uid = msg.meta["send_uid"]
+                    if uid in self._seen_rts:
+                        # retried RTS for a handshake we already processed:
+                        # if our CTS may have been lost (data not yet here),
+                        # re-issue it; never re-match against another recv
+                        recv_uid = self._seen_rts[uid]
+                        req = (self._pending_recvs.get(recv_uid)
+                               if recv_uid is not None else None)
+                        if req is not None:
+                            self._send_cts(req, msg, depart_delay=0.0)
+                        return
+                    self._seen_rts[uid] = None
             req = self.matching.incoming(msg)
             if req is None:
                 return  # buffered as unexpected
@@ -320,7 +383,9 @@ class MPIRank:
             else:
                 self._send_cts(req, msg, depart_delay=0.0)
         elif msg.kind == "cts":
-            send_req = self._pending_sends.pop(msg.meta["send_uid"])
+            send_req = self._pending_sends.pop(msg.meta["send_uid"], None)
+            if send_req is None:
+                return  # duplicate CTS from an RTS retry race; data is on its way
             # the library's progress engine injects the data transfer;
             # it briefly takes the lock (interfering with user calls) but
             # charges no user task.
@@ -337,7 +402,13 @@ class MPIRank:
             local_done = self.cluster.send(data, depart_delay=grant.end - self.engine.now)
             send_req.complete_at(local_done)
         elif msg.kind == "data":
-            recv_req = self._pending_recvs.pop(msg.meta["recv_uid"])
+            recv_req = self._pending_recvs.pop(msg.meta["recv_uid"], None)
+            if recv_req is None:
+                # duplicate data after a CTS retry race; already satisfied
+                inj = self.cluster.injector
+                if inj is not None and inj.active:
+                    return
+                raise MPIError(f"data for unknown recv {msg.meta['recv_uid']}")
             copy_into(recv_req.buf, msg.payload)
             recv_req.complete_at(self.engine.now + self._c_match)
         else:

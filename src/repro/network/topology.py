@@ -91,6 +91,12 @@ class Cluster:
         self._endpoints: Dict[Tuple[int, str], DeliveryHandler] = {}
         # last scheduled delivery time per (src_rank, dst_rank): FIFO guard
         self._channel_clock: Dict[Tuple[int, int], float] = {}
+        #: installed by repro.faults.FaultInjector.install(); None = perfect
+        #: fabric, and send() takes the original zero-overhead path
+        self.injector = None
+        # duplicated-message bookkeeping for receiver-side NIC dedup
+        self._dup_tracked: set = set()
+        self._dup_seen: set = set()
 
     # ------------------------------------------------------------------
     # placement
@@ -158,6 +164,12 @@ class Cluster:
         intra = src_node == dst_node
         fab = self.fabric
 
+        # Wire (inter-node) messages take the fault-aware path when a
+        # non-empty fault plan is installed; node-local copies are never
+        # faulted. With no injector this costs one attribute test.
+        if not intra and self.injector is not None and self.injector.active:
+            return self._send_faulted(msg, now, src_node, dst_node)
+
         if intra:
             copy_time = fab.serialization(msg.nbytes, intra=True)
             local_done = now + copy_time
@@ -213,6 +225,147 @@ class Cluster:
                 f"no {msg.protocol!r} endpoint at rank {msg.dst_rank} for {msg!r}"
             )
         handler(msg)
+
+    # ------------------------------------------------------------------
+    # fault-aware transport (repro.faults)
+    # ------------------------------------------------------------------
+    def _send_faulted(self, msg: Message, now: float, src_node: int,
+                      dst_node: int) -> float:
+        """Wire send under an active fault injector.
+
+        The local-completion contract is unchanged: the source buffer has
+        left the host once the *first* egress serialization finishes — the
+        NIC keeps its own copy for ack-based retransmission, so drops never
+        stall the sender, only the delivery.
+        """
+        st = self.stats
+        st.messages += 1
+        st.bytes += msg.nbytes
+        if msg.nbytes <= 64:
+            st.control_messages += 1
+        return self._transmit_faulted(msg, now, src_node, dst_node,
+                                      attempt=0, is_copy=False)
+
+    def _transmit_faulted(self, msg: Message, at: float, src_node: int,
+                          dst_node: int, attempt: int, is_copy: bool) -> float:
+        """One wire transmission attempt; returns the egress grant end."""
+        eng = self.engine
+        fab = self.fabric
+        inj = self.injector
+        bw_factor = fab.cost(f"{msg.protocol}.bw_factor", 1.0)
+        ser = fab.serialization(msg.nbytes, intra=False) / bw_factor
+        ser *= inj.serialization_factor(src_node, dst_node, at)
+        grant = self.nodes[src_node].egress.use(ser, at=at)
+        t_wire = grant.end
+
+        # fate decided the instant the message hits the wire
+        if inj.partitioned(src_node, dst_node, t_wire):
+            inj.stats.partition_dropped += 1
+            fate = "drop"
+            self._trace_fault(msg, "partition_drop", t_wire, attempt)
+        else:
+            fate = inj.wire_fate(msg, attempt, is_copy)
+            if fate != "ok":
+                self._trace_fault(msg, fate, t_wire, attempt)
+
+        if fate == "drop":
+            plan = inj.plan
+            if plan.nic_ack and attempt < plan.max_retransmits:
+                # the sender NIC notices the missing ack after an RTO and
+                # retransmits with exponential backoff
+                retry_at = t_wire + inj.backoff_delay(attempt)
+                ev = eng.event()
+                ev.add_callback(
+                    lambda _ev: self._retransmit(msg, src_node, dst_node,
+                                                 attempt + 1)
+                )
+                ev.succeed(delay=retry_at - eng.now)
+            else:
+                inj.stats.lost += 1
+                inj.report.record(t_wire, "net", "lost", rank=msg.src_rank,
+                                  dst=msg.dst_rank, msg_kind=msg.kind,
+                                  uid=msg.uid, attempts=attempt + 1)
+            return grant.end
+
+        latency = (
+            fab.base_latency(intra=False)
+            + fab.cost(f"{msg.protocol}.lat_extra", 0.0)
+            + self._jitter(msg.protocol)
+        )
+        latency *= inj.latency_factor(src_node, dst_node, t_wire)
+        reordered = fate == "reorder"
+        if reordered:
+            latency += inj.reorder_extra()
+        wire_arrive = grant.end + latency
+        if reordered:
+            # A reordered packet strays off the in-order pipeline; reserving
+            # the ingress device at its (far-future) arrival would backlog
+            # earlier traffic behind the reservation, so it pays the
+            # serialization cost without occupying the device.
+            arrive = wire_arrive + ser
+        else:
+            in_grant = self.nodes[dst_node].ingress.use(ser, at=wire_arrive)
+            arrive = in_grant.end
+
+        # Reordered messages escape the per-channel FIFO floor (that is the
+        # fault) and do not raise it, so later traffic may overtake them.
+        # Retransmitted messages keep FIFO semantics: one loss delays the
+        # whole channel, as on an in-order virtual circuit.
+        chan = (msg.src_rank, msg.dst_rank)
+        floor = self._channel_clock.get(chan, 0.0)
+        if not reordered:
+            if arrive < floor:
+                arrive = floor
+            self._channel_clock[chan] = arrive
+
+        tr = eng.tracer
+        if tr.enabled:
+            tr.span("net", f"{msg.protocol}.{msg.kind}", at, arrive,
+                    rank=msg.src_rank, dst=msg.dst_rank, nbytes=msg.nbytes,
+                    intra=False, local_done=grant.end, attempt=attempt)
+
+        ev = eng.event()
+        ev.add_callback(lambda _ev: self._deliver_faulted(msg))
+        ev.succeed(delay=arrive - eng.now)
+
+        if fate == "duplicate":
+            # a ghost copy follows on the wire; the receiver NIC dedups it
+            self._dup_tracked.add(msg.uid)
+            self._transmit_faulted(msg, grant.end, src_node, dst_node,
+                                   attempt, is_copy=True)
+        return grant.end
+
+    def _retransmit(self, msg: Message, src_node: int, dst_node: int,
+                    attempt: int) -> None:
+        inj = self.injector
+        inj.stats.retransmits += 1
+        self._trace_fault(msg, "retransmit", self.engine.now, attempt)
+        self._transmit_faulted(msg, self.engine.now, src_node, dst_node,
+                               attempt, is_copy=False)
+
+    def _deliver_faulted(self, msg: Message) -> None:
+        uid = msg.uid
+        if uid in self._dup_tracked:
+            if uid in self._dup_seen:
+                # second copy of a duplicated message: suppressed at the
+                # receiving NIC, so upper layers never see it (and, e.g.,
+                # notifications are not double-posted)
+                self._dup_tracked.discard(uid)
+                self._dup_seen.discard(uid)
+                self.injector.stats.dup_suppressed += 1
+                self._trace_fault(msg, "dup_suppressed", self.engine.now, 0)
+                return
+            self._dup_seen.add(uid)
+        self.stats.total_transit_time += self.engine.now - msg.injected_at
+        self._deliver(msg)
+
+    def _trace_fault(self, msg: Message, what: str, t: float, attempt: int) -> None:
+        tr = self.engine.tracer
+        if tr.enabled:
+            # note: no msg.uid here — uids are process-global, and traces
+            # must stay byte-identical across same-seed runs
+            tr.instant("faults", what, t, rank=msg.src_rank, dst=msg.dst_rank,
+                       kind=msg.kind, attempt=attempt)
 
     def _jitter(self, protocol: str) -> float:
         if self.rng is None:

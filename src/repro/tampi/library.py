@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.faults.plan import RecoveryPolicy
+from repro.faults.report import FaultAbort
 from repro.mpi.comm import MPIRank
 from repro.mpi.requests import Request
 from repro.tasking.polling import PollableWork, spawn_polling_service
@@ -39,17 +41,27 @@ class TAMPI:
     poll_period_us:
         Polling-task period in microseconds (paper §VI tunes 150µs on
         Marenostrum4, a dedicated core — 0µs — on CTE-AMD).
+    recovery:
+        Optional :class:`repro.faults.RecoveryPolicy`. MPI requests are
+        two-sided, so there is nothing TAMPI can unilaterally re-submit;
+        a bound request still pending after ``op_timeout`` is dropped from
+        the poll set and its task event released (or, with
+        ``on_exhaustion="abort"``, the poller raises
+        :class:`~repro.faults.FaultAbort`).
     """
 
-    def __init__(self, runtime: Runtime, mpi_rank: MPIRank, poll_period_us: float = 150.0):
+    def __init__(self, runtime: Runtime, mpi_rank: MPIRank, poll_period_us: float = 150.0,
+                 recovery: Optional[RecoveryPolicy] = None):
         self.runtime = runtime
         self.mpi = mpi_rank
         self.poll_period_us = poll_period_us
+        self.recovery = recovery
         #: (request, owning task, registered-from-onready, registered-at)
         self._pending: List[Tuple[Request, Task, bool, float]] = []
         self.work = PollableWork(runtime.engine)
         self.stats_iwaits = 0
         self.stats_completed = 0
+        self.stats_timeouts = 0
         self._poller = spawn_polling_service(
             runtime, self._poll, poll_period_us, self.work,
             label="tampi.poll",
@@ -90,6 +102,8 @@ class TAMPI:
         # completions is pushed out to the lock grant (§VI-C)
         grant, done_idx = self.mpi.testsome_timed(reqs)
         if not done_idx:
+            if self.recovery is not None:
+                self._check_timeouts()
             return
         done = set(done_idx)
         tr = self.runtime.engine.tracer
@@ -115,6 +129,45 @@ class TAMPI:
             ev = self.runtime.engine.event()
             ev.add_callback(lambda _ev: self._fulfill(completed))
             ev.succeed(delay=grant.end - self.runtime.engine.now)
+        if self.recovery is not None:
+            self._check_timeouts()
+
+    def _check_timeouts(self) -> None:
+        """Release (or abort on) requests pending longer than the recovery
+        policy's op_timeout — the TAMPI side of the fault model."""
+        now = self.runtime.engine.now
+        policy = self.recovery
+        timed_out = [p for p in self._pending if now - p[3] > policy.op_timeout]
+        if not timed_out:
+            return
+        inj = self.mpi.cluster.injector
+        if policy.on_exhaustion == "abort":
+            req, task, _is_pre, registered_at = timed_out[0]
+            report = inj.report if inj is not None else None
+            if inj is not None:
+                inj.stats.tampi_timeouts += 1
+            raise FaultAbort(
+                f"tampi rank {self.mpi.rank}: request tag={req.tag} "
+                f"pending {now - registered_at:.6g}s (> {policy.op_timeout:.6g}s)",
+                report=report, rank=self.mpi.rank, op=req.kind,
+            )
+        self._pending = [p for p in self._pending if now - p[3] <= policy.op_timeout]
+        tr = self.runtime.engine.tracer
+        for req, task, is_pre, registered_at in timed_out:
+            self.stats_timeouts += 1
+            if inj is not None:
+                inj.stats.tampi_timeouts += 1
+                inj.report.record(now, "tampi", "timeout", rank=self.mpi.rank,
+                                  req_kind=req.kind, tag=req.tag,
+                                  pending_s=now - registered_at)
+            if tr.enabled:
+                tr.instant("faults", "tampi_timeout", now, rank=self.mpi.rank,
+                           kind=req.kind, tag=req.tag)
+            if is_pre:
+                task.fulfill_pre_event(1)
+            else:
+                task.fulfill_event(1)
+        self.work.retire(len(timed_out))
 
     def _fulfill(self, completed: List[Tuple[Task, bool]]) -> None:
         for task, is_pre in completed:

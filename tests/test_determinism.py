@@ -8,6 +8,7 @@ import pytest
 
 from repro.apps.miniamr import AMRParams, build_mesh_schedule, run_miniamr
 from repro.apps.streaming import StreamingParams, run_streaming
+from repro.faults import FaultPlan, RecoveryPolicy
 from repro.harness import JobSpec, MARENOSTRUM4
 from repro.trace import Tracer, chrome_trace
 
@@ -86,3 +87,63 @@ class TestRunnerDeterminism:
         assert a.records == b.records
         dump = lambda t: json.dumps(chrome_trace(t), sort_keys=True)
         assert dump(a) == dump(b)
+
+
+class TestFaultDeterminism:
+    """A faulted run is a pure function of (plan, seed); an empty plan is
+    bit-identical to no plan at all."""
+
+    @staticmethod
+    def _run_gs(faults, variant="tagaspi", seed=7):
+        from repro.apps.gauss_seidel import GSParams, run_gauss_seidel
+
+        params = GSParams(rows=64, cols=64, timesteps=2, block_size=32)
+        tracer = Tracer(progress_every=None)
+        spec = JobSpec(machine=MACH4, n_nodes=2, variant=variant, seed=seed,
+                       faults=faults)
+        res = run_gauss_seidel(spec, params, tracer=tracer)
+        return res, tracer
+
+    @staticmethod
+    def _dump(tracer):
+        return json.dumps(chrome_trace(tracer), sort_keys=True)
+
+    def test_same_plan_same_seed_identical(self):
+        plan = FaultPlan.severe(drop_prob=0.2, dup_prob=0.1, reorder_prob=0.1,
+                                recovery=RecoveryPolicy(op_timeout=5e-3))
+        a, ta = self._run_gs(plan)
+        b, tb = self._run_gs(plan)
+        assert a.sim_time == b.sim_time
+        assert a.extra == b.extra
+        assert a.extra["fault_injected"] > 0
+        assert self._dump(ta) == self._dump(tb)
+
+    def test_empty_plan_bit_identical_to_no_plan(self):
+        a, ta = self._run_gs(None)
+        b, tb = self._run_gs(FaultPlan())
+        assert a.sim_time == b.sim_time
+        assert a.extra == b.extra
+        assert self._dump(ta) == self._dump(tb)
+
+    def test_recovery_only_plan_bit_identical_to_no_plan(self):
+        # a recovery policy with no active faults never fires on a healthy
+        # run, so the wire path (and the trace) must stay untouched
+        a, ta = self._run_gs(None)
+        b, tb = self._run_gs(FaultPlan(recovery=RecoveryPolicy(op_timeout=10.0)))
+        assert a.sim_time == b.sim_time
+        assert self._dump(ta) == self._dump(tb)
+
+    def test_fault_seed_changes_injections_not_numerics(self):
+        import numpy as np
+        from repro.apps.gauss_seidel import GSParams, run_gauss_seidel
+
+        params = GSParams(rows=64, cols=64, timesteps=2, block_size=32)
+
+        def run(seed):
+            spec = JobSpec(machine=MACH4, n_nodes=2, variant="mpi", seed=seed,
+                           faults=FaultPlan.severe())
+            return run_gauss_seidel(spec, params, collect_grid=True)
+
+        a, b = run(1), run(2)
+        assert np.array_equal(a.extra["grid"], b.extra["grid"])
+        assert a.sim_time != b.sim_time

@@ -11,6 +11,7 @@ EXAMPLES = [
     "examples/producer_consumer.py",
     "examples/stencil_dsl.py",
     "examples/amr_simulation.py",
+    "examples/fault_sweep.py",
 ]
 
 
