@@ -2,15 +2,27 @@
 
 Each ``test_fig*`` benchmark regenerates one table/figure of the paper's
 evaluation (see DESIGN.md §3) at the downscaled machine sizes documented in
-EXPERIMENTS.md, prints the series, and asserts the paper's qualitative
-claims (who wins, where). Run with::
+EXPERIMENTS.md, prints the series, asserts the paper's qualitative claims
+(who wins, where), and records its variant timings to a machine-readable
+``BENCH_<name>.json`` artifact (``repro.bench`` writer). Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Artifacts land in the current directory unless ``REPRO_BENCH_DIR`` is set.
 """
 
 from __future__ import annotations
 
+import os
 import sys
+import time
+
+from repro.bench import write_bench_json
+
+#: wall seconds of the most recent run_once() sweep (consumed by
+#: record_bench so artifacts carry the measured time without every
+#: benchmark re-plumbing it)
+_last_wall_s = None
 
 
 def emit(text: str) -> None:
@@ -21,4 +33,24 @@ def emit(text: str) -> None:
 
 def run_once(benchmark, fn):
     """Run the sweep exactly once under pytest-benchmark's timer."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    global _last_wall_s
+
+    def timed():
+        global _last_wall_s
+        t0 = time.perf_counter()
+        out = fn()
+        _last_wall_s = time.perf_counter() - t0
+        return out
+
+    return benchmark.pedantic(timed, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def record_bench(name: str, results, **extra) -> str:
+    """Write this benchmark's results (any mix of dicts/lists/
+    VariantResult) to ``BENCH_<name>.json`` and announce the path."""
+    payload = {"name": name, "wall_s": _last_wall_s, "results": results}
+    payload.update(extra)
+    path = write_bench_json(name, payload,
+                            os.environ.get("REPRO_BENCH_DIR", "."))
+    emit(f"recorded -> {path}")
+    return path

@@ -9,7 +9,7 @@ place of 1000-step runs (EXPERIMENTS.md E1).
 
 import pytest
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, record_bench, run_once
 from repro.apps.gauss_seidel import GSParams
 from repro.apps.gauss_seidel.runner import run_gauss_seidel_steady
 from repro.harness import (
@@ -74,6 +74,8 @@ def test_fig09_gauss_seidel_strong_scaling(benchmark):
                 ("comm_time", "lock_wait_time", "messages", "notifications")]
          for v in VARIANTS],
     ))
+
+    record_bench("fig09_gs_scaling", results, nodes=NODES)
 
     thr = {v: results[v][-1].throughput for v in VARIANTS}
     emit(f"at {last} nodes: TAGASPI/MPI-only = {thr['tagaspi']/thr['mpi']:.3f}, "

@@ -8,7 +8,7 @@ Scaled to 16 nodes and block sizes 64–512 (EXPERIMENTS.md E2).
 
 import pytest
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, record_bench, run_once
 from repro.apps.gauss_seidel import GSParams
 from repro.apps.gauss_seidel.runner import run_gauss_seidel_steady
 from repro.harness import JobSpec, MARENOSTRUM4, format_series
@@ -38,6 +38,8 @@ def test_fig10_gauss_seidel_blocksize_sweep(benchmark):
     emit(format_series(
         f"Fig. 10: Gauss-Seidel throughput (GUpdates/s) vs block size, "
         f"{N_NODES} nodes", "blocksize", thr, BLOCK_SIZES))
+    record_bench("fig10_gs_blocksize", thr, n_nodes=N_NODES,
+                 block_sizes=BLOCK_SIZES)
 
     peak = N_NODES * MARENOSTRUM4.cores_per_node / 4.4e-9 / 1e9
     smallest = BLOCK_SIZES[0]

@@ -8,7 +8,7 @@ Paper: 20 variables, 1–256 Marenostrum4 nodes; TAGASPI best scalability
 
 import pytest
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, record_bench, run_once
 from repro.apps.miniamr import AMRParams, build_mesh_schedule, run_miniamr
 from repro.harness import JobSpec, MARENOSTRUM4, format_series, parallel_efficiency
 
@@ -45,6 +45,8 @@ def test_fig11_miniamr_strong_scaling(benchmark):
     eff = {v: parallel_efficiency(results[v]) for v in VARIANTS}
     emit(format_series("Fig. 11 (lower): miniAMR parallel efficiency (total)",
                        "nodes", eff, NODES))
+
+    record_bench("fig11_miniamr_scaling", results, nodes=NODES)
 
     last = NODES[-1]
     r_tag = thr["tagaspi"][last]

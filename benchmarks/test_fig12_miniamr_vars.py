@@ -10,7 +10,7 @@ import dataclasses
 
 import pytest
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, record_bench, run_once
 from repro.apps.miniamr import AMRParams, build_mesh_schedule, run_miniamr
 from repro.harness import JobSpec, MARENOSTRUM4, format_series
 
@@ -46,6 +46,9 @@ def test_fig12_miniamr_variables_sweep(benchmark):
     emit(format_series(
         f"Fig. 12: miniAMR throughput (GUpdates/s) vs variables, {N_NODES} nodes",
         "variables", series, VARIABLES))
+    record_bench("fig12_miniamr_vars",
+                 {"throughput": thr, "throughput_nr": thr_nr},
+                 n_nodes=N_NODES, variables=VARIABLES)
     emit(f"at 20 variables (NR): TAGASPI/MPI-only = "
          f"{thr_nr['tagaspi'][20]/thr_nr['mpi'][20]:.3f}, TAGASPI/TAMPI = "
          f"{thr_nr['tagaspi'][20]/thr_nr['tampi'][20]:.3f} "

@@ -11,7 +11,7 @@ variability. Scaled to 8 / 4 nodes and 131072-element chunks
 
 import pytest
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, record_bench, run_once
 from repro.apps.streaming import StreamingParams
 from repro.apps.streaming.runner import run_streaming_steady
 from repro.harness import JobSpec, MARENOSTRUM4, CTE_AMD, format_series
@@ -45,6 +45,8 @@ def test_fig13_upper_marenostrum4(benchmark):
     emit(format_series(
         "Fig. 13 (upper): Streaming GElements/s, Marenostrum4, 8 nodes",
         "blocksize", thr, BLOCK_SIZES))
+    record_bench("fig13_streaming_mn4", thr, n_nodes=8,
+                 block_sizes=BLOCK_SIZES)
 
     # paper: MPI-only best overall on Omni-Path; TAGASPI approaches at
     # large blocks; TAMPI far worse at small blocks than at its peak
@@ -62,6 +64,8 @@ def test_fig13_lower_cte_amd(benchmark):
     emit(format_series(
         "Fig. 13 (lower): Streaming GElements/s, CTE-AMD, 4 nodes",
         "blocksize", thr, BLOCK_SIZES))
+    record_bench("fig13_streaming_cte_amd", thr, n_nodes=4,
+                 block_sizes=BLOCK_SIZES)
     emit(f"at 4096: TAGASPI/MPI-only = {thr['tagaspi'][4096]/thr['mpi'][4096]:.3f}, "
          f"TAGASPI/TAMPI = {thr['tagaspi'][4096]/thr['tampi'][4096]:.3f} "
          f"(paper: 1.53 / 2.14)")

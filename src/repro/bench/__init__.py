@@ -1,0 +1,13 @@
+"""Reproducible performance benchmarks for the simulator itself.
+
+``python -m repro.bench`` runs the pinned suite and drops one
+``BENCH_<name>.json`` per benchmark; see docs/performance.md for how to
+read and refresh the artifacts. The frozen pre-overhaul kernel used as the
+in-run baseline lives in :mod:`repro.bench.legacy`.
+"""
+
+from repro.bench.cli import main
+from repro.bench.record import write_bench_json
+from repro.bench.suites import bench_names, run_bench
+
+__all__ = ["main", "write_bench_json", "bench_names", "run_bench"]

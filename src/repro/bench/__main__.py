@@ -1,0 +1,3 @@
+from repro.bench import main
+
+raise SystemExit(main())

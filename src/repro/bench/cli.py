@@ -1,0 +1,41 @@
+"""``python -m repro.bench`` — run the pinned microbenchmark suite.
+
+Each benchmark writes ``BENCH_<name>.json`` into ``--outdir`` (default:
+current directory) and prints a one-line summary. ``--quick`` shrinks
+problem sizes and repetitions to smoke-test level (seconds, used by the
+``bench``-marked pytest smoke test); ``--only`` selects a subset.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.bench.record import write_bench_json
+from repro.bench.suites import bench_names, run_bench
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the simulator's pinned performance benchmarks.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes / few reps (smoke test)")
+    parser.add_argument("--only", action="append", choices=bench_names(),
+                        metavar="NAME",
+                        help=f"run only this benchmark (repeatable); "
+                             f"one of: {', '.join(bench_names())}")
+    parser.add_argument("--outdir", default=".",
+                        help="directory for BENCH_<name>.json (default: .)")
+    args = parser.parse_args(argv)
+
+    names = args.only or bench_names()
+    for name in names:
+        payload = run_bench(name, quick=args.quick)
+        path = write_bench_json(name, payload, args.outdir)
+        summary = f"{name:9s} {payload['throughput']:12,.0f} {payload['unit']}"
+        if "speedup" in payload:
+            summary += f"  ({payload['speedup']:.2f}x vs pre-overhaul baseline)"
+        print(f"{summary}  -> {path}")
+    return 0

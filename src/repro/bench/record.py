@@ -1,0 +1,46 @@
+"""``BENCH_<name>.json`` artifact writer.
+
+One JSON file per benchmark, deterministic layout (sorted keys, stable
+indent) so artifacts diff cleanly across runs and machines. Numpy scalars
+are coerced to plain Python numbers — benchmark payloads routinely carry
+metric sweeps that contain them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Dict
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays, dataclasses (e.g.
+    :class:`~repro.harness.metrics.VariantResult`), and other non-JSON
+    leaves recursively."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # numpy scalars expose item(); arrays expose tolist()
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "ndim", 1) == 0:
+        return value.item()
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return _jsonable(value.tolist())
+    return repr(value)
+
+
+def write_bench_json(name: str, payload: Dict[str, Any], outdir: str = ".") -> str:
+    """Write ``payload`` to ``<outdir>/BENCH_<name>.json``; returns the path."""
+    os.makedirs(outdir, exist_ok=True)
+    path = os.path.join(outdir, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(_jsonable(payload), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,317 @@
+"""The pinned microbenchmark suite behind ``python -m repro.bench``.
+
+Four benchmarks, each emitting one ``BENCH_<name>.json``:
+
+``engine``
+    Events/sec through :meth:`Engine.run` on three workloads, against the
+    frozen pre-overhaul :class:`~repro.bench.legacy.LegacyEngine` measured
+    in the same run:
+
+    * *timers* — batches of distinct-deadline timer events (pure heap
+      dispatch);
+    * *cascade* — chains of immediate (``delay=0``) events, each fire
+      scheduling the next (the FIFO immediate-lane path, shallow queue);
+    * *churn*  — immediate-event chains firing while a few thousand
+      far-future timers stay resident in the heap. This is the headline
+      workload: it is the shape of a real simulation mid-run (in-flight
+      transfer completions pending while condition/notify cascades resolve
+      at ``now``), and it is where the legacy engine pays two full-depth
+      heap sifts per immediate event that the lane engine avoids.
+
+``matching``
+    Matches/sec posting receives and delivering messages across a
+    (sources × tags) grid, indexed :class:`MatchingEngine` vs the O(n)
+    :class:`LinearMatchingEngine` oracle. Deliveries arrive in reverse
+    posting order so the linear walk always scans deep.
+
+``nic``
+    Messages/sec through the full network path: ``Cluster.send`` with NIC
+    serialization, link latency and per-channel FIFO, drained by
+    ``Engine.run``. No legacy baseline (the network layer did not change);
+    this pins the end-to-end message cost against regressions.
+
+``gs``
+    A mid-size Gauss–Seidel point through the real harness (``build_job`` →
+    variant main → ``Job.run``): wall time, fired events, events/sec, and
+    the simulated-time figure of merit. The closest thing to "what users
+    feel"; cost-model only (``compute_data=False``) so it measures the
+    simulator, not numpy.
+
+Methodology, applied uniformly: all object construction happens *outside*
+the timed region; every timed region is repeated ``reps`` times and the
+best (minimum) wall time is kept, which is the standard way to reject
+scheduler/frequency noise on a shared machine; both sides of every
+comparison run interleaved in the same process.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List
+
+from repro.bench.legacy import LegacyEngine, LegacyEvent
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+_BUILDERS: Dict[str, Callable[..., dict]] = {}
+
+
+def bench_names() -> List[str]:
+    return list(_BUILDERS)
+
+
+def run_bench(name: str, quick: bool = False) -> dict:
+    """Run one benchmark; returns its JSON-ready payload."""
+    return _BUILDERS[name](quick=quick)
+
+
+def _register(fn):
+    _BUILDERS[fn.__name__.replace("bench_", "")] = fn
+    return fn
+
+
+def _best_of(reps: int, build, run) -> float:
+    """min-of-``reps`` wall seconds of ``run(build())``; construction is
+    never timed."""
+    best = float("inf")
+    for _ in range(reps):
+        subject = build()
+        t0 = time.perf_counter()
+        run(subject)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+def _timers(eng_cls, ev_cls, n: int, k: int = 64):
+    engines = []
+    for _ in range(n // k):
+        eng = eng_cls()
+        for i in range(k):
+            ev_cls(eng).succeed(delay=(i + 1) * 1e-6)
+        engines.append(eng)
+    return engines
+
+
+def _cascade(eng_cls, ev_cls, n: int, k: int = 64):
+    engines = []
+    for _ in range(n // k):
+        eng = eng_cls()
+        evs = [ev_cls(eng) for _ in range(k)]
+        for a, b in zip(evs, evs[1:]):
+            a.callbacks.append(lambda _e, nxt=b: nxt.succeed())
+        evs[0].succeed()
+        engines.append(eng)
+    return engines
+
+
+def _churn(eng_cls, ev_cls, n: int, k: int = 64, resident: int = 2048):
+    eng = eng_cls()
+    resident = min(resident, n // 2)
+    for i in range(resident):
+        ev_cls(eng).succeed(delay=1.0 + i * 1e-6)
+    for c in range((n - resident) // k):
+        evs = [ev_cls(eng) for _ in range(k)]
+        for a, b in zip(evs, evs[1:]):
+            a.callbacks.append(lambda _e, nxt=b: nxt.succeed())
+        evs[0].succeed(delay=c * 1e-9)
+    return [eng]
+
+
+_ENGINE_WORKLOADS = {
+    "timers": _timers,
+    "cascade": _cascade,
+    "churn": _churn,
+}
+
+#: the workload whose speedup is the benchmark's headline number
+_ENGINE_HEADLINE = "churn"
+
+
+@_register
+def bench_engine(quick: bool = False) -> dict:
+    n = 20_000 if quick else 200_000
+    reps = 2 if quick else 7
+    workloads = {}
+    for wname, make in _ENGINE_WORKLOADS.items():
+        def run_all(engines):
+            for eng in engines:
+                eng.run()
+
+        legacy_s = _best_of(reps, lambda: make(LegacyEngine, LegacyEvent, n),
+                            run_all)
+        fast_s = _best_of(reps, lambda: make(Engine, Event, n), run_all)
+        workloads[wname] = {
+            "events": n,
+            "legacy_wall_s": legacy_s,
+            "wall_s": fast_s,
+            "legacy_events_per_s": n / legacy_s,
+            "events_per_s": n / fast_s,
+            "speedup": legacy_s / fast_s,
+        }
+    head = workloads[_ENGINE_HEADLINE]
+    return {
+        "name": "engine",
+        "unit": "events/s",
+        "headline_workload": _ENGINE_HEADLINE,
+        "events_fired": head["events"],
+        "wall_s": head["wall_s"],
+        "throughput": head["events_per_s"],
+        "speedup": head["speedup"],
+        "workloads": workloads,
+        "quick": quick,
+    }
+
+
+# ----------------------------------------------------------------------
+# matching
+# ----------------------------------------------------------------------
+def _matching_ops(me_cls, sources: int, tags: int):
+    """Post sources×tags receives, then deliver one message per receive in
+    *reverse* posting order (worst case for a linear queue walk)."""
+    from repro.mpi.matching import _req_matches_msg  # noqa: F401 (doc link)
+    from repro.mpi.requests import Request
+    from repro.network.message import Message
+    from repro.sim.engine import Engine as _E
+
+    eng = _E()
+    recvs = [Request(eng, "recv", 0, src, tag, None, 8)
+             for src in range(1, sources + 1) for tag in range(tags)]
+    msgs = [Message(src_rank=src, dst_rank=0, protocol="mpi", kind="eager",
+                    nbytes=8, meta={"tag": tag})
+            for src in range(1, sources + 1) for tag in range(tags)]
+    msgs.reverse()
+    me = me_cls()
+    return me, recvs, msgs
+
+
+def _run_matching(subject):
+    me, recvs, msgs = subject
+    post = me.post_recv
+    for req in recvs:
+        post(req)
+    incoming = me.incoming
+    for msg in msgs:
+        incoming(msg)
+
+
+@_register
+def bench_matching(quick: bool = False) -> dict:
+    from repro.mpi.matching import LinearMatchingEngine, MatchingEngine
+
+    sources, tags = (16, 8) if quick else (64, 48)
+    reps = 2 if quick else 5
+    ops = 2 * sources * tags  # posts + deliveries
+    linear_s = _best_of(reps,
+                        lambda: _matching_ops(LinearMatchingEngine, sources, tags),
+                        _run_matching)
+    indexed_s = _best_of(reps,
+                         lambda: _matching_ops(MatchingEngine, sources, tags),
+                         _run_matching)
+    return {
+        "name": "matching",
+        "unit": "matches/s",
+        "sources": sources,
+        "tags": tags,
+        "operations": ops,
+        "legacy_wall_s": linear_s,
+        "wall_s": indexed_s,
+        "legacy_matches_per_s": ops / linear_s,
+        "throughput": ops / indexed_s,
+        "speedup": linear_s / indexed_s,
+        "quick": quick,
+    }
+
+
+# ----------------------------------------------------------------------
+# nic
+# ----------------------------------------------------------------------
+def _nic_cluster(n_msgs: int):
+    from repro.harness.machines import MARENOSTRUM4
+    from repro.network.message import Message
+    from repro.network.topology import Cluster
+
+    eng = Engine()
+    cluster = Cluster(eng, 2, MARENOSTRUM4.fabric, rng=None)
+    cluster.place_ranks_block(2, 1)
+    delivered = []
+    cluster.register_endpoint(1, "bench", lambda msg: delivered.append(msg.uid))
+    msgs = [Message(src_rank=0, dst_rank=1, protocol="bench", kind="data",
+                    nbytes=64, meta={"i": i}) for i in range(n_msgs)]
+    return cluster, eng, msgs, delivered
+
+
+def _run_nic(subject):
+    cluster, eng, msgs, delivered = subject
+    send = cluster.send
+    for msg in msgs:
+        send(msg)
+    eng.run()
+    assert len(delivered) == len(msgs)
+
+
+@_register
+def bench_nic(quick: bool = False) -> dict:
+    n_msgs = 2_000 if quick else 50_000
+    reps = 2 if quick else 5
+    wall = _best_of(reps, lambda: _nic_cluster(n_msgs), _run_nic)
+    # events fired for reporting (one extra untimed pass)
+    cluster, eng, msgs, _ = _nic_cluster(n_msgs)
+    _run_nic((cluster, eng, msgs, _))
+    return {
+        "name": "nic",
+        "unit": "messages/s",
+        "messages": n_msgs,
+        "events_fired": eng.event_count,
+        "wall_s": wall,
+        "throughput": n_msgs / wall,
+        "quick": quick,
+    }
+
+
+# ----------------------------------------------------------------------
+# gs
+# ----------------------------------------------------------------------
+@_register
+def bench_gs(quick: bool = False) -> dict:
+    from repro.apps.gauss_seidel.common import GSParams
+    from repro.apps.gauss_seidel.variants import make_storages, tampi_main
+    from repro.harness.machines import MARENOSTRUM4
+    from repro.harness.runner import JobSpec, build_job
+
+    if quick:
+        machine = MARENOSTRUM4.with_cores(2)
+        params = GSParams(rows=64, cols=256, timesteps=3, block_size=32,
+                          compute_data=False)
+        n_nodes = 2
+    else:
+        machine = MARENOSTRUM4.with_cores(4)
+        params = GSParams(rows=256, cols=2048, timesteps=10, block_size=64,
+                          compute_data=False)
+        n_nodes = 4
+    spec = JobSpec(machine=machine, n_nodes=n_nodes, variant="tampi")
+    job = build_job(spec)
+    storages = make_storages(job, params)
+    procs = [tampi_main(job, params, st) for st in storages]
+    t0 = time.perf_counter()
+    sim_time = job.run(procs)
+    wall = time.perf_counter() - t0
+    events = job.engine.event_count
+    return {
+        "name": "gs",
+        "unit": "events/s",
+        "variant": spec.variant,
+        "n_nodes": n_nodes,
+        "rows": params.rows,
+        "cols": params.cols,
+        "timesteps": params.timesteps,
+        "block_size": params.block_size,
+        "events_fired": events,
+        "wall_s": wall,
+        "throughput": events / wall,
+        "sim_time_s": sim_time,
+        "gupdates_per_s": params.gupdates(sim_time),
+        "quick": quick,
+    }

@@ -82,6 +82,10 @@ class MPIRank:
         self.stats_rendezvous = 0
         #: rendezvous sends awaiting CTS, by sender-side request uid
         self._pending_sends: dict = {}
+        #: armed RTS-retry timer per handshake (send request uid -> Event);
+        #: cancelled lazily when the CTS lands so defused timers never churn
+        #: the event heap
+        self._rts_timers: dict = {}
         #: rendezvous recvs awaiting data, by receiver-side request uid
         self._pending_recvs: dict = {}
         #: RTS handshakes already seen (send_uid -> recv_uid or None),
@@ -151,13 +155,16 @@ class MPIRank:
         ev.add_callback(
             lambda _ev: self._rts_retry(req, dest, tag, nbytes, attempt))
         ev.succeed(delay=delay)
+        self._rts_timers[req.uid] = ev
 
     def _rts_retry(self, req: Request, dest: int, tag: int, nbytes: int,
                    attempt: int) -> None:
         if req.uid not in self._pending_sends:
+            self._rts_timers.pop(req.uid, None)
             return  # CTS arrived; handshake done
         inj = self.cluster.injector
         if inj is None or attempt >= inj.plan.max_rendezvous_retries:
+            self._rts_timers.pop(req.uid, None)
             return  # give up; NIC-level retransmission may still deliver
         self.stats_rts_retries += 1
         inj.stats.rendezvous_retries += 1
@@ -386,6 +393,11 @@ class MPIRank:
             send_req = self._pending_sends.pop(msg.meta["send_uid"], None)
             if send_req is None:
                 return  # duplicate CTS from an RTS retry race; data is on its way
+            # defuse the armed retry timer: lazy cancellation drops the
+            # heap entry without firing a no-op retry event
+            timer = self._rts_timers.pop(send_req.uid, None)
+            if timer is not None:
+                timer.cancel()
             # the library's progress engine injects the data transfer;
             # it briefly takes the lock (interfering with user calls) but
             # charges no user task.

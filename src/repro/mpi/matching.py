@@ -8,13 +8,39 @@ match the same receive are received in send order.
 
 The cost of walking these queues is part of why fine-grained two-sided
 messaging loses to one-sided (paper §I); the per-message ``mpi.match``
-fabric cost stands in for it.
+fabric cost stands in for it. That *simulated* cost is unchanged here —
+what this module optimizes is the **simulator's own wall-clock** cost of
+the walk, which used to be O(queue depth) per operation:
+
+* :class:`MatchingEngine` buckets both queues by ``(source, tag)``. A
+  fully-specified receive or an arriving message resolves in O(1) by
+  looking at (at most four) bucket heads and taking the lowest posting
+  sequence number.
+* Wildcard receives (``ANY_SOURCE`` / ``ANY_TAG``) fall back to a global
+  arrival-ordered list with sequence numbers and lazy deletion, so they
+  see exactly the arrival order a linear walk would.
+* :class:`LinearMatchingEngine` keeps the original O(n) deque walk as the
+  differential-testing oracle (tests/test_properties.py) and as the
+  baseline ``python -m repro.bench`` measures the indexed engine against.
+
+FIFO equivalence argument (property-tested against the oracle):
+
+* *incoming → posted*: every posted receive sits in exactly one bucket,
+  appended in posting order, so each bucket head is its bucket's earliest
+  post; the earliest matching post overall is therefore the minimum
+  posting-sequence among the ≤4 candidate bucket heads.
+* *post_recv → unexpected*: for a fully-specified receive, every matching
+  message lives in exactly the ``(source, tag)`` bucket, FIFO by arrival —
+  the head is the earliest match. For a wildcard receive, the global
+  arrival list is walked in order; the first live match found is also its
+  own bucket's head (any earlier entry of that bucket would have matched
+  first), so bucket removal stays O(1).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional, Tuple
 
 from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG
 from repro.mpi.requests import Request
@@ -28,8 +54,140 @@ def _req_matches_msg(req: Request, msg: Message) -> bool:
     return req.tag in (ANY_TAG, tag)
 
 
+#: compact the wildcard arrival list when at least this many corpses have
+#: accumulated *and* they make up half the list
+_COMPACT_MIN_DEAD = 32
+
+
 class MatchingEngine:
-    """Per-rank posted/unexpected queues."""
+    """Per-rank posted/unexpected queues, indexed by ``(source, tag)``."""
+
+    __slots__ = ("_posted", "_post_seq", "_posted_len", "_wild_posted",
+                 "_unexpected", "_arrivals", "_dead")
+
+    def __init__(self) -> None:
+        #: (source, tag) -> deque[(post_seq, Request)]; wildcard receives
+        #: use the ANY_* sentinels directly as key components
+        self._posted: Dict[Tuple[int, int], Deque] = {}
+        self._post_seq = 0
+        self._posted_len = 0
+        #: posted receives currently queued under a wildcard key — when
+        #: zero, arriving messages probe a single bucket instead of four
+        self._wild_posted = 0
+        #: (source, tag) -> deque of live entries ``[message, alive]``
+        self._unexpected: Dict[Tuple[int, int], Deque] = {}
+        #: every unexpected entry in arrival order (wildcard fallback);
+        #: entries matched through the bucket path are flagged dead and
+        #: discarded lazily
+        self._arrivals: Deque = deque()
+        self._dead = 0
+
+    # -- receiver side -------------------------------------------------
+    def post_recv(self, req: Request) -> Optional[Message]:
+        """Try to satisfy ``req`` from the unexpected queue; if impossible,
+        post it. Returns the matched message, if any."""
+        peer, tag = req.peer, req.tag
+        if peer != ANY_SOURCE and tag != ANY_TAG:
+            bucket = self._unexpected.get((peer, tag))
+            if bucket:
+                return self._consume_unexpected((peer, tag), bucket[0])
+        else:
+            arrivals = self._arrivals
+            while arrivals and not arrivals[0][1]:
+                arrivals.popleft()
+                self._dead -= 1
+            for entry in arrivals:
+                if not entry[1]:
+                    continue
+                msg = entry[0]
+                if (peer == ANY_SOURCE or peer == msg.src_rank):
+                    mtag = msg.meta["tag"]
+                    if tag == ANY_TAG or tag == mtag:
+                        return self._consume_unexpected(
+                            (msg.src_rank, mtag), entry)
+        self._post_seq += 1
+        key = (peer, tag)
+        bucket = self._posted.get(key)
+        if bucket is None:
+            bucket = self._posted[key] = deque()
+        bucket.append((self._post_seq, req))
+        self._posted_len += 1
+        if peer == ANY_SOURCE or tag == ANY_TAG:
+            self._wild_posted += 1
+        return None
+
+    def _consume_unexpected(self, key: Tuple[int, int], entry: list) -> Message:
+        """Remove ``entry`` (its bucket's head — see module docstring) from
+        the unexpected structures and return its message."""
+        bucket = self._unexpected[key]
+        head = bucket.popleft()
+        assert head is entry, "matched entry must be its bucket's head"
+        if not bucket:
+            del self._unexpected[key]
+        entry[1] = False
+        self._dead += 1
+        if (self._dead >= _COMPACT_MIN_DEAD
+                and self._dead * 2 >= len(self._arrivals)):
+            self._arrivals = deque(e for e in self._arrivals if e[1])
+            self._dead = 0
+        return entry[0]
+
+    # -- network side ----------------------------------------------------
+    def incoming(self, msg: Message) -> Optional[Request]:
+        """Try to match an arriving first-contact message (eager data or
+        rendezvous RTS) against posted receives; otherwise buffer it."""
+        src = msg.src_rank
+        tag = msg.meta["tag"]
+        posted = self._posted
+        best_key = None
+        if self._wild_posted:
+            best_seq = None
+            for key in ((src, tag), (ANY_SOURCE, tag),
+                        (src, ANY_TAG), (ANY_SOURCE, ANY_TAG)):
+                bucket = posted.get(key)
+                if bucket:
+                    seq = bucket[0][0]
+                    if best_seq is None or seq < best_seq:
+                        best_seq = seq
+                        best_key = key
+        elif posted.get((src, tag)):
+            best_key = (src, tag)
+        if best_key is not None:
+            bucket = posted[best_key]
+            _seq, req = bucket.popleft()
+            if not bucket:
+                del posted[best_key]
+            self._posted_len -= 1
+            if best_key[0] == ANY_SOURCE or best_key[1] == ANY_TAG:
+                self._wild_posted -= 1
+            return req
+        entry = [msg, True]
+        key = (src, tag)
+        bucket = self._unexpected.get(key)
+        if bucket is None:
+            bucket = self._unexpected[key] = deque()
+        bucket.append(entry)
+        self._arrivals.append(entry)
+        return None
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def posted_depth(self) -> int:
+        return self._posted_len
+
+    @property
+    def unexpected_depth(self) -> int:
+        return len(self._arrivals) - self._dead
+
+
+class LinearMatchingEngine:
+    """The original O(n) deque-walk matcher.
+
+    Kept verbatim as (a) the differential-testing oracle the indexed
+    :class:`MatchingEngine` is property-tested against, and (b) the
+    baseline the matching microbenchmark (``python -m repro.bench``)
+    records its speedup over. Not used on any hot path.
+    """
 
     __slots__ = ("posted", "unexpected")
 
@@ -37,10 +195,7 @@ class MatchingEngine:
         self.posted: Deque[Request] = deque()
         self.unexpected: Deque[Message] = deque()
 
-    # -- receiver side -------------------------------------------------
     def post_recv(self, req: Request) -> Optional[Message]:
-        """Try to satisfy ``req`` from the unexpected queue; if impossible,
-        post it. Returns the matched message, if any."""
         for i, msg in enumerate(self.unexpected):
             if _req_matches_msg(req, msg):
                 del self.unexpected[i]
@@ -48,10 +203,7 @@ class MatchingEngine:
         self.posted.append(req)
         return None
 
-    # -- network side ----------------------------------------------------
     def incoming(self, msg: Message) -> Optional[Request]:
-        """Try to match an arriving first-contact message (eager data or
-        rendezvous RTS) against posted receives; otherwise buffer it."""
         for i, req in enumerate(self.posted):
             if _req_matches_msg(req, msg):
                 del self.posted[i]
@@ -59,7 +211,6 @@ class MatchingEngine:
         self.unexpected.append(msg)
         return None
 
-    # -- introspection -----------------------------------------------------
     @property
     def posted_depth(self) -> int:
         return len(self.posted)

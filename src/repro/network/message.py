@@ -22,7 +22,7 @@ from typing import Any
 _msg_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     src_rank: int
     dst_rank: int

@@ -1,6 +1,6 @@
 """The discrete-event engine.
 
-A single :class:`Engine` owns simulated time and a binary-heap event queue.
+A single :class:`Engine` owns simulated time and its event queue.
 Everything that "happens" in the simulated cluster is an
 :class:`~repro.sim.events.Event` scheduled on this queue.
 
@@ -8,11 +8,34 @@ Ordering is the deterministic triple ``(time, priority, seq)``: ``seq`` is a
 monotonically increasing insertion counter, so events scheduled for the same
 instant fire in insertion order unless an explicit priority says otherwise.
 Lower priority values fire first.
+
+Performance notes (docs/performance.md has the full fast-path contract):
+
+* The queue is two lanes with one total order. Normal-priority events
+  scheduled with ``delay == 0`` — the dominant class in this code base:
+  condition triggers, completion notifications, park/unpark signals — go to
+  a FIFO *immediate lane* (a deque; O(1) in, O(1) out). Everything else
+  goes to the binary heap. Because simulated time never runs backwards and
+  ``seq`` grows monotonically, the lane is always sorted by ``(time, seq)``
+  by construction; dispatch compares the two lane heads on the full
+  ``(time, priority, seq)`` key, so the firing order is *identical* to a
+  single-heap engine (property-tested in tests/test_sim_engine.py).
+* :meth:`Engine.run` dispatches through an inlined fast loop whenever no
+  tracing of any kind is requested — local bindings, no per-event tracer
+  attribute reads, ``until``/``max_events`` guards hoisted out of the
+  common loop. The loop inlines :meth:`Event._fire` (no Event subclass
+  overrides it).
+* Cancellation is *lazy*: :meth:`Event.cancel` only flags the entry; the
+  engine discards flagged entries as they surface at a lane head, so
+  defusing a timeout costs O(1) instead of an O(n) queue rebuild.
+  Introspection (:meth:`peek`, :attr:`queue_depth`, :meth:`budget_error`)
+  reports *live* events only, so deadlock diagnostics never count corpses.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
 from typing import Callable, Iterable, Optional, TYPE_CHECKING
 
 from repro.trace.tracer import NULL_TRACER, Tracer
@@ -20,6 +43,8 @@ from repro.trace.tracer import NULL_TRACER, Tracer
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.events import Event
     from repro.sim.process import Process
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -54,14 +79,35 @@ class Engine:
         :data:`~repro.trace.NULL_TRACER`.
     """
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_lane",
+        "_seq",
+        "_trace",
+        "_running",
+        "_event_count",
+        "_cancelled",
+        "tracer",
+        "_progress_t0",
+        "current_context",
+    )
+
     def __init__(self, trace: Optional[Callable[[float, "Event"], None]] = None,
                  tracer: Optional[Tracer] = None):
         self._now: float = 0.0
+        #: (time, priority, seq, event) entries with delay > 0 or
+        #: non-normal priority
         self._heap: list = []
+        #: (time, seq, event) entries scheduled with delay == 0 at normal
+        #: priority; sorted by construction (see module docstring)
+        self._lane: deque = deque()
         self._seq: int = 0
         self._trace = trace
         self._running = False
         self._event_count = 0
+        #: lazily-cancelled entries still sitting in the queue lanes
+        self._cancelled = 0
         #: tracing sink read by every instrumented layer via ``engine.tracer``
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         self._progress_t0 = 0.0
@@ -79,22 +125,67 @@ class Engine:
 
     @property
     def event_count(self) -> int:
-        """Number of events fired so far (diagnostics / budget guards)."""
+        """Number of events fired so far (diagnostics / budget guards).
+        Lazily-cancelled events are discarded, never fired, and not counted."""
         return self._event_count
 
+    @property
+    def queue_depth(self) -> int:
+        """Number of *live* (non-cancelled) events still queued."""
+        return len(self._heap) + len(self._lane) - self._cancelled
+
+    def _clean_heads(self) -> None:
+        """Discard cancelled entries sitting at either lane head."""
+        lane = self._lane
+        while lane and lane[0][2]._cancelled:
+            lane.popleft()
+            self._cancelled -= 1
+        heap = self._heap
+        while heap and heap[0][3]._cancelled:
+            heappop(heap)
+            self._cancelled -= 1
+
+    @staticmethod
+    def _lane_first(le, he) -> bool:
+        """True if lane entry ``le`` precedes heap entry ``he`` in the
+        total (time, priority, seq) order (the lane's priority is 0)."""
+        lt = le[0]
+        ht = he[0]
+        if lt != ht:
+            return lt < ht
+        hp = he[1]
+        return hp > 0 or (hp == 0 and le[1] < he[2])
+
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next live scheduled event, or ``inf`` if none.
+
+        Cancelled entries surfacing at a lane head are discarded here, so
+        ``peek()`` doubles as the lazy-deletion cleanup point for drivers
+        that step the engine manually (``Job.run``, test harnesses)."""
+        self._clean_heads()
+        lane = self._lane
+        heap = self._heap
+        if lane:
+            if heap and not self._lane_first(lane[0], heap[0]):
+                return heap[0][0]
+            return lane[0][0]
+        return heap[0][0] if heap else _INF
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def schedule(self, event: "Event", delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> None:
         """Arrange for ``event`` to fire ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay!r}")
+        # The single comparison rejects negative, inf, *and* NaN delays
+        # (NaN fails every comparison): any of them would poison queue
+        # ordering or park events at unreachable times.
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(f"non-finite or negative delay {delay!r}")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        if delay == 0.0 and priority == 0:
+            self._lane.append((self._now, self._seq, event))
+        else:
+            heappush(self._heap, (self._now + delay, priority, self._seq, event))
 
     # ------------------------------------------------------------------
     # factories (sugar used throughout the code base)
@@ -127,11 +218,35 @@ class Engine:
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
+    def _pop_next(self):
+        """Pop and return ``(time, event)`` for the next live event, or
+        ``None`` if both lanes are drained. Discards cancelled corpses."""
+        lane = self._lane
+        heap = self._heap
+        while True:
+            if lane:
+                if heap and not self._lane_first(lane[0], heap[0]):
+                    entry = heappop(heap)
+                    time, event = entry[0], entry[3]
+                else:
+                    entry = lane.popleft()
+                    time, event = entry[0], entry[2]
+            elif heap:
+                entry = heappop(heap)
+                time, event = entry[0], entry[3]
+            else:
+                return None
+            if event._cancelled:
+                self._cancelled -= 1
+                continue
+            return time, event
+
     def step(self) -> None:
-        """Fire the single next event."""
-        if not self._heap:
+        """Fire the single next live event (skipping cancelled entries)."""
+        nxt = self._pop_next()
+        if nxt is None:
             raise SimulationError("step() on an empty event queue")
-        time, _prio, _seq, event = heapq.heappop(self._heap)
+        time, event = nxt
         if time < self._now:
             raise SimulationError("event queue time went backwards")
         self._now = time
@@ -144,19 +259,21 @@ class Engine:
                 tr.instant("sim", type(event).__name__, time)
             every = tr.progress_every
             if every is not None and self._event_count % every == 0:
+                depth = self.queue_depth
                 tr.span("sim", "progress", self._progress_t0, time,
-                        events=self._event_count, queue_depth=len(self._heap))
-                tr.counter("sim", "queue_depth", time, float(len(self._heap)))
+                        events=self._event_count, queue_depth=depth)
+                tr.counter("sim", "queue_depth", time, float(depth))
                 self._progress_t0 = time
         event._fire()
 
     def budget_error(self, max_events: int) -> SimulationError:
         """The event-budget-exhausted error, including how many events are
         still queued but unfired — a drained-vs-live queue distinguishes a
-        genuine deadlock from a model that is simply still making progress."""
+        genuine deadlock from a model that is simply still making progress.
+        Lazily-cancelled corpses are excluded from the count."""
         return SimulationError(
             f"event budget exhausted ({max_events} events fired) at "
-            f"t={self._now:.6g}s with {len(self._heap)} queued-but-unfired "
+            f"t={self._now:.6g}s with {self.queue_depth} queued-but-unfired "
             f"events still pending"
         )
 
@@ -176,27 +293,147 @@ class Engine:
         if trace_every is not None and trace_every < 1:
             raise SimulationError(f"trace_every must be >= 1, got {trace_every}")
         self._running = True
-        fired = 0
         try:
-            while self._heap:
-                next_time = self._heap[0][0]
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                if max_events is not None and fired >= max_events:
-                    raise self.budget_error(max_events)
-                self.step()
-                fired += 1
-                if trace_every is not None and fired % trace_every == 0:
-                    tr = self.tracer
-                    if tr.enabled:
-                        tr.instant("sim", "run_progress", self._now,
-                                   fired=fired, queue_depth=len(self._heap))
-            else:
-                if until is not None and until > self._now:
-                    self._now = until
+            if (self._trace is None and trace_every is None
+                    and not self.tracer.enabled):
+                return self._run_fast(until, max_events)
+            return self._run_traced(until, max_events, trace_every)
         finally:
             self._running = False
+
+    def _run_fast(self, until: Optional[float], max_events: Optional[int]) -> float:
+        """The hot loop: inlined dispatch, zero tracer attribute reads.
+
+        Only entered when ``self._trace`` is None, the NULL_TRACER (or any
+        disabled tracer) is installed, and no ``trace_every`` was requested
+        — i.e. when per-event observation hooks cannot fire anyway. Event
+        ordering, cancellation, ``until``, and budget semantics are
+        identical to the traced loop (property-tested in
+        tests/test_sim_engine.py).
+
+        Invariants this loop relies on (enforced elsewhere):
+
+        * :meth:`schedule` rejects negative/non-finite delays, so popped
+          times are monotone by the lane invariants — no per-event
+          time-went-backwards check is needed;
+        * no :class:`Event` subclass overrides ``_fire`` — its body is
+          inlined here (see docs/performance.md).
+        """
+        heap = self._heap
+        lane = self._lane
+        pop = heappop
+        popleft = lane.popleft
+        fired = 0
+        try:
+            if until is None and max_events is None:
+                # Unbounded: the tightest loop. Lane-vs-heap selection is
+                # inlined (same (time, priority, seq) order as _lane_first).
+                while True:
+                    if lane:
+                        if heap:
+                            le = lane[0]
+                            he = heap[0]
+                            lt = le[0]
+                            ht = he[0]
+                            if lt < ht or (lt == ht and (
+                                    he[1] > 0 or (he[1] == 0 and le[1] < he[2]))):
+                                t, _seq, event = popleft()
+                            else:
+                                t, _prio, _seq, event = pop(heap)
+                        else:
+                            t, _seq, event = popleft()
+                    elif heap:
+                        t, _prio, _seq, event = pop(heap)
+                    else:
+                        break
+                    if event._cancelled:
+                        self._cancelled -= 1
+                        continue
+                    self._now = t
+                    fired += 1
+                    # --- inlined Event._fire() ---
+                    event._triggered = True
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for cb in callbacks:
+                            cb(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value
+                return self._now
+            # Bounded: same dispatch plus until/budget guards.
+            lane_first = self._lane_first
+            limit = _INF if until is None else until
+            budget = _INF if max_events is None else max_events
+            while True:
+                if lane:
+                    if heap and not lane_first(lane[0], heap[0]):
+                        t, _prio, _seq, event = pop(heap)
+                        from_lane = False
+                    else:
+                        t, _seq, event = popleft()
+                        from_lane = True
+                elif heap:
+                    t, _prio, _seq, event = pop(heap)
+                    from_lane = False
+                else:
+                    break
+                if event._cancelled:
+                    self._cancelled -= 1
+                    continue
+                if t > limit:
+                    # not consumed: fires on a later run()
+                    if from_lane:
+                        lane.appendleft((t, _seq, event))
+                    else:
+                        heappush(heap, (t, _prio, _seq, event))
+                    self._now = limit
+                    return limit
+                if fired >= budget:
+                    if from_lane:
+                        lane.appendleft((t, _seq, event))
+                    else:
+                        heappush(heap, (t, _prio, _seq, event))
+                    raise self.budget_error(max_events)
+                self._now = t
+                fired += 1
+                # --- inlined Event._fire() ---
+                event._triggered = True
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    for cb in callbacks:
+                        cb(event)
+                if event._ok is False and not event._defused:
+                    raise event._value
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._event_count += fired
+
+    def _run_traced(self, until: Optional[float], max_events: Optional[int],
+                    trace_every: Optional[int]) -> float:
+        """Observable loop: one :meth:`step` per event, all hooks live."""
+        fired = 0
+        while True:
+            next_time = self.peek()
+            if next_time == _INF:
+                if until is not None and until > self._now:
+                    self._now = until
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            if max_events is not None and fired >= max_events:
+                raise self.budget_error(max_events)
+            self.step()
+            fired += 1
+            if trace_every is not None and fired % trace_every == 0:
+                tr = self.tracer
+                if tr.enabled:
+                    tr.instant("sim", "run_progress", self._now,
+                               fired=fired, queue_depth=self.queue_depth)
         return self._now
 
     def run_until_complete(self, process: "Process", max_events: Optional[int] = None) -> object:
@@ -205,7 +442,7 @@ class Engine:
         (i.e. the model deadlocked)."""
         fired = 0
         while not process.triggered:
-            if not self._heap:
+            if self.peek() == _INF:
                 raise SimulationError(
                     f"deadlock: event queue drained at t={self._now:.6g}s "
                     f"with process {process!r} still pending"

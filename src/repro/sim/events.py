@@ -22,7 +22,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class Event:
     """A one-shot awaitable occurrence on an :class:`Engine`."""
 
-    __slots__ = ("engine", "callbacks", "_triggered", "_ok", "_value", "_scheduled", "_defused")
+    __slots__ = ("engine", "callbacks", "_triggered", "_ok", "_value",
+                 "_scheduled", "_defused", "_cancelled")
 
     def __init__(self, engine: Engine):
         self.engine = engine
@@ -32,6 +33,7 @@ class Event:
         self._value: object = None
         self._scheduled = False
         self._defused = False
+        self._cancelled = False
 
     # -- state ----------------------------------------------------------
     @property
@@ -77,7 +79,30 @@ class Event:
         self.engine.schedule(self, delay)
         return self
 
+    def cancel(self) -> bool:
+        """Lazily cancel this scheduled-but-unfired event.
+
+        The heap entry is only *flagged*; the engine discards it when it
+        reaches the top of the queue (O(1) amortized, no heap rebuild).
+        A cancelled event never fires: its callbacks never run and it does
+        not count toward ``event_count`` or live queue depth.
+
+        Returns ``True`` if the event was cancelled by this call, ``False``
+        if it had already fired or was already cancelled (both benign — the
+        main use is defusing timeouts that may race their own deadline).
+        Cancelling an event that was never scheduled is an error.
+        """
+        if self._triggered or self._cancelled:
+            return False
+        if not self._scheduled:
+            raise SimulationError(f"cannot cancel unscheduled {self!r}")
+        self._cancelled = True
+        self.engine._cancelled += 1
+        return True
+
     def _fire(self) -> None:
+        # NOTE: Engine._run_fast inlines this body — keep the two in sync,
+        # and do not override _fire in subclasses (docs/performance.md).
         self._triggered = True
         callbacks, self.callbacks = self.callbacks, []
         for cb in callbacks:

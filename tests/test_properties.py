@@ -200,3 +200,106 @@ class TestMeshProperties:
                     directed.add((b, nb))
         for (a, b) in directed:
             assert (b, a) in directed
+
+
+class TestMatchingDifferentialOracle:
+    """The indexed MatchingEngine must be observationally identical to the
+    original O(n) LinearMatchingEngine on any interleaving of posts and
+    arrivals, wildcards included."""
+
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("recv"),
+                  st.sampled_from([ANY_SOURCE, 0, 1, 2]),
+                  st.sampled_from([ANY_TAG, 0, 1, 2])),
+        st.tuples(st.just("msg"),
+                  st.integers(0, 2),
+                  st.integers(0, 2)),
+    ), min_size=1, max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_indexed_matches_linear_oracle(self, ops):
+        from repro.mpi.matching import LinearMatchingEngine
+
+        eng = Engine()
+        indexed = MatchingEngine()
+        linear = LinearMatchingEngine()
+        for kind, a, b in ops:
+            if kind == "recv":
+                req = Request(eng, "recv", 9, a, b, None, 8)
+                got_i = indexed.post_recv(req)
+                got_l = linear.post_recv(req)
+            else:
+                msg = Message(a, 9, "mpi", "eager", 8, None, meta={"tag": b})
+                got_i = indexed.incoming(msg)
+                got_l = linear.incoming(msg)
+            # identical object (or identical None) from both engines
+            assert got_i is got_l
+            assert indexed.posted_depth == linear.posted_depth
+            assert indexed.unexpected_depth == linear.unexpected_depth
+
+
+class TestEngineOrderingProperties:
+    @given(st.lists(st.tuples(
+        st.sampled_from([0.0, 0.5, 1.0]),      # delay
+        st.sampled_from([-1, 0, 1]),           # priority
+    ), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_fire_order_is_time_priority_seq(self, specs):
+        """Whatever mix of lanes events land in, the observable firing
+        order is the sort by (time, priority, insertion seq)."""
+        from repro.sim.events import Event
+
+        eng = Engine()
+        order = []
+        for i, (delay, prio) in enumerate(specs):
+            ev = Event(eng)
+            ev.add_callback(lambda _e, i=i: order.append(i))
+            ev.succeed(delay=delay, priority=prio)
+        eng.run()
+        expected = [i for i, _ in sorted(
+            enumerate(specs), key=lambda t: (t[1][0], t[1][1], t[0]))]
+        assert order == expected
+
+    @given(st.lists(st.tuples(
+        st.sampled_from([0.0, 0.25, 1.0]),     # delay
+        st.sampled_from([-1, 0, 1]),           # priority
+        st.integers(0, 2),                     # children scheduled on fire
+        st.sampled_from([0.0, 0.5]),           # child delay
+        st.booleans(),                         # cancel this event?
+    ), min_size=1, max_size=25))
+    @settings(max_examples=100, deadline=None)
+    def test_fast_run_equals_step_loop(self, specs):
+        """run()'s inlined fast path fires the exact same sequence as the
+        fully-observable peek()/step() loop, including cascades scheduled
+        mid-run and lazily-cancelled events."""
+        from repro.sim.events import Event
+
+        def execute(drive):
+            eng = Engine()
+            order = []
+
+            def spawn(label, delay, prio, children, child_delay):
+                ev = Event(eng)
+
+                def on_fire(_e):
+                    order.append(label)
+                    for c in range(children):
+                        spawn(f"{label}.{c}", child_delay, 0, 0, 0.0)
+
+                ev.add_callback(on_fire)
+                ev.succeed(delay=delay, priority=prio)
+                return ev
+
+            for i, (delay, prio, children, child_delay, cancel) in enumerate(specs):
+                ev = spawn(str(i), delay, prio, children, child_delay)
+                if cancel:
+                    ev.cancel()
+            drive(eng)
+            return order, eng.now, eng.event_count
+
+        def step_loop(eng):
+            while eng.peek() != float("inf"):
+                eng.step()
+
+        fast = execute(lambda eng: eng.run())
+        stepped = execute(step_loop)
+        assert fast == stepped

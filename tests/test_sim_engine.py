@@ -278,3 +278,150 @@ class TestDeterminism:
             return trace
 
         assert run_once() == run_once()
+
+
+class TestScheduleValidation:
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf"), -0.5])
+    def test_non_finite_or_negative_delay_rejected(self, delay):
+        eng = Engine()
+        with pytest.raises(SimulationError, match="delay"):
+            eng.schedule(Event(eng), delay=delay)
+
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf")])
+    def test_succeed_rejects_non_finite_delay(self, delay):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            Event(eng).succeed(delay=delay)
+        assert eng.queue_depth == 0
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self):
+        eng = Engine()
+        fired = []
+        ev = eng.timeout(1.0)
+        ev.add_callback(lambda e: fired.append(e))
+        assert ev.cancel() is True
+        eng.timeout(2.0)
+        eng.run()
+        assert fired == []
+        assert not ev.triggered
+        assert eng.now == 2.0
+        assert eng.event_count == 1  # cancelled events are not counted
+
+    def test_cancel_after_fire_returns_false(self):
+        eng = Engine()
+        ev = eng.timeout(1.0)
+        eng.run()
+        assert ev.cancel() is False
+
+    def test_double_cancel_returns_false(self):
+        eng = Engine()
+        ev = eng.timeout(1.0)
+        assert ev.cancel() is True
+        assert ev.cancel() is False
+        assert eng.queue_depth == 0
+
+    def test_cancel_unscheduled_raises(self):
+        eng = Engine()
+        with pytest.raises(SimulationError, match="unscheduled"):
+            Event(eng).cancel()
+
+    def test_queue_depth_and_peek_exclude_corpses(self):
+        eng = Engine()
+        evs = [eng.timeout(t) for t in (1.0, 2.0, 3.0)]
+        assert eng.queue_depth == 3
+        evs[0].cancel()
+        assert eng.queue_depth == 2
+        assert eng.peek() == 2.0  # corpse at t=1.0 is invisible
+        evs[1].cancel()
+        evs[2].cancel()
+        assert eng.queue_depth == 0
+        assert eng.peek() == float("inf")
+
+    def test_run_on_fully_cancelled_queue_is_noop(self):
+        eng = Engine()
+        eng.timeout(1.0).cancel()
+        assert eng.run() == 0.0
+        assert eng.event_count == 0
+
+    def test_budget_error_reports_live_depth_only(self):
+        eng = Engine()
+        for t in (1.0, 2.0, 3.0):
+            eng.timeout(t)
+        eng.timeout(4.0).cancel()
+        with pytest.raises(SimulationError, match="2 queued-but-unfired"):
+            eng.run(max_events=1)
+
+    def test_cancel_immediate_event(self):
+        eng = Engine()
+        fired = []
+        keep = Event(eng)
+        keep.add_callback(lambda e: fired.append("keep"))
+        gone = Event(eng)
+        gone.add_callback(lambda e: fired.append("gone"))
+        gone.succeed()
+        keep.succeed()
+        gone.cancel()
+        eng.run()
+        assert fired == ["keep"]
+
+    def test_cancelled_timeout_with_budget_guard(self):
+        """Cancelled corpses do not consume the max_events budget."""
+        eng = Engine()
+        for t in (1.0, 2.0):
+            eng.timeout(t).cancel()
+        eng.timeout(3.0)
+        assert eng.run(max_events=1) == 3.0
+
+
+class TestImmediateLane:
+    """delay==0 normal-priority events take the FIFO lane; ordering must be
+    indistinguishable from a single queue."""
+
+    def test_urgent_beats_lane_at_same_instant(self):
+        eng = Engine()
+        order = []
+        a = Event(eng)
+        a.add_callback(lambda e: order.append("lane"))
+        a.succeed()  # lane, seq 1
+        b = Event(eng)
+        b.add_callback(lambda e: order.append("urgent"))
+        b.succeed(priority=PRIORITY_URGENT)  # heap, seq 2 but prio -1
+        eng.run()
+        assert order == ["urgent", "lane"]
+
+    def test_lane_interleaves_with_heap_by_seq(self):
+        eng = Engine()
+        order = []
+        for i, (delay, prio) in enumerate([(0.0, 0), (0.0, 1), (0.0, 0)]):
+            ev = Event(eng)
+            ev.add_callback(lambda e, i=i: order.append(i))
+            ev.succeed(delay=delay, priority=prio)
+        eng.run()
+        # (0,prio0,seq1), (0,prio0,seq3) then (0,prio1,seq2)
+        assert order == [0, 2, 1]
+
+    def test_until_pauses_and_resumes_across_lanes(self):
+        eng = Engine()
+        order = []
+        def tick(delay, label):
+            ev = Event(eng)
+            ev.add_callback(lambda e: order.append(label))
+            ev.succeed(delay=delay)
+        tick(1.0, "t1")
+        tick(2.0, "t2")
+        assert eng.run(until=1.5) == 1.5
+        tick(0.0, "imm")  # lane entry at t=1.5 while heap holds t=2.0
+        assert eng.run() == 2.0
+        assert order == ["t1", "imm", "t2"]
+
+    def test_max_events_budget_spans_both_lanes(self):
+        eng = Engine()
+        Event(eng).succeed()           # lane
+        eng.timeout(1.0)               # heap
+        with pytest.raises(SimulationError, match="budget"):
+            eng.run(max_events=1)
+        assert eng.event_count == 1
+        eng.run()
+        assert eng.event_count == 2
