@@ -9,6 +9,14 @@ EXPERIMENTS.md, prints the series, asserts the paper's qualitative claims
     pytest benchmarks/ --benchmark-only
 
 Artifacts land in the current directory unless ``REPRO_BENCH_DIR`` is set.
+
+The figure sweeps run through :class:`repro.harness.parallel.SweepExecutor`
+(:func:`sweep_executor` below), so they shard across processes and memoize
+per point without changing any result:
+
+* ``REPRO_SWEEP_WORKERS=N`` — process-pool size (default 1, serial);
+* ``REPRO_CACHE_DIR=path``  — persistent result cache; re-running a figure
+  benchmark after an unrelated edit then executes nothing.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import sys
 import time
 
 from repro.bench import write_bench_json
+from repro.harness.parallel import ResultCache, SweepExecutor
 
 #: wall seconds of the most recent run_once() sweep (consumed by
 #: record_bench so artifacts carry the measured time without every
@@ -43,6 +52,24 @@ def run_once(benchmark, fn):
         return out
 
     return benchmark.pedantic(timed, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def sweep_executor(**overrides) -> SweepExecutor:
+    """A :class:`SweepExecutor` configured from the environment (see module
+    docstring); keyword overrides win."""
+    kwargs: dict = {"workers": int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))}
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if cache_dir:
+        kwargs["cache"] = ResultCache(cache_dir)
+    kwargs.update(overrides)
+    return SweepExecutor(**kwargs)
+
+
+def sweep_kwargs() -> dict:
+    """The same environment configuration as :func:`sweep_executor`, shaped
+    for :func:`repro.harness.run_variants`'s ``workers=``/``cache=``."""
+    ex = sweep_executor()
+    return {"workers": ex.workers, "cache": ex.cache}
 
 
 def record_bench(name: str, results, **extra) -> str:

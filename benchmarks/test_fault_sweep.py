@@ -12,7 +12,7 @@ variants and asserts the invariants the fault subsystem guarantees:
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, sweep_kwargs
 from repro.apps.gauss_seidel import GSParams
 from repro.apps.gauss_seidel.runner import run_gauss_seidel
 from repro.faults import FaultPlan, RecoveryPolicy
@@ -30,7 +30,8 @@ ORDER = ["none", "mild", "severe"]
 
 @pytest.mark.faults
 def test_gs_fault_intensity_sweep():
-    results = run_variants(run_gauss_seidel, MACH, 4, PARAMS, faults=PLANS)
+    results = run_variants(run_gauss_seidel, MACH, 4, PARAMS, faults=PLANS,
+                           **sweep_kwargs())
     emit(fault_sweep_table("Gauss-Seidel under fault injection "
                            f"({MACH.name}, 4 nodes)", results))
     for variant, by_label in results.items():
@@ -55,6 +56,6 @@ def test_faulted_points_pay_a_time_cost():
     """Severe faults must not make a run *faster* than fault-free: drops
     only ever add retransmission or recovery latency."""
     results = run_variants(run_gauss_seidel, MACH, 4, PARAMS,
-                           variants=("mpi",), faults=PLANS)
+                           variants=("mpi",), faults=PLANS, **sweep_kwargs())
     by_label = results["mpi"]
     assert by_label["severe"].sim_time >= by_label["none"].sim_time

@@ -9,12 +9,13 @@ place of 1000-step runs (EXPERIMENTS.md E1).
 
 import pytest
 
-from benchmarks.conftest import emit, record_bench, run_once
+from benchmarks.conftest import emit, record_bench, run_once, sweep_executor
 from repro.apps.gauss_seidel import GSParams
 from repro.apps.gauss_seidel.runner import run_gauss_seidel_steady
 from repro.harness import (
     JobSpec,
     MARENOSTRUM4,
+    SweepPoint,
     format_series,
     format_table,
     parallel_efficiency,
@@ -40,14 +41,18 @@ def _params(n_nodes):
 
 
 def _sweep():
-    results = {v: [] for v in VARIANTS}
+    points = []
     for n in NODES:
         params = _params(n)
         for v in VARIANTS:
             spec = JobSpec(machine=MARENOSTRUM4, n_nodes=n, variant=v,
                            poll_period_us=50)
-            results[v].append(run_gauss_seidel_steady(spec, params[v],
-                                                      warm_steps=8))
+            points.append(SweepPoint(run_gauss_seidel_steady, spec, params[v],
+                                     run_kwargs={"warm_steps": 8},
+                                     label=(v, n)))
+    results = {v: [] for v in VARIANTS}
+    for pt, res in zip(points, sweep_executor().map(points)):
+        results[pt.label[0]].append(res)
     return results
 
 

@@ -8,10 +8,10 @@ Scaled to 16 nodes and block sizes 64–512 (EXPERIMENTS.md E2).
 
 import pytest
 
-from benchmarks.conftest import emit, record_bench, run_once
+from benchmarks.conftest import emit, record_bench, run_once, sweep_executor
 from repro.apps.gauss_seidel import GSParams
 from repro.apps.gauss_seidel.runner import run_gauss_seidel_steady
-from repro.harness import JobSpec, MARENOSTRUM4, format_series
+from repro.harness import JobSpec, MARENOSTRUM4, SweepPoint, format_series
 
 N_NODES = 16
 BLOCK_SIZES = [64, 128, 256, 512]
@@ -20,15 +20,19 @@ GRID = dict(rows=4096, cols=8192)
 
 
 def _sweep():
-    out = {v: {} for v in VARIANTS}
+    points = []
     for bs in BLOCK_SIZES:
         for v in VARIANTS:
             params = GSParams(timesteps=16, block_size=bs, compute_data=False,
                               **GRID)
             spec = JobSpec(machine=MARENOSTRUM4, n_nodes=N_NODES, variant=v,
                            poll_period_us=150)
-            res = run_gauss_seidel_steady(spec, params, warm_steps=8)
-            out[v][bs] = res.throughput
+            points.append(SweepPoint(run_gauss_seidel_steady, spec, params,
+                                     run_kwargs={"warm_steps": 8},
+                                     label=(v, bs)))
+    out = {v: {} for v in VARIANTS}
+    for pt, res in zip(points, sweep_executor().map(points)):
+        out[pt.label[0]][pt.label[1]] = res.throughput
     return out
 
 

@@ -8,9 +8,15 @@ Paper: 20 variables, 1–256 Marenostrum4 nodes; TAGASPI best scalability
 
 import pytest
 
-from benchmarks.conftest import emit, record_bench, run_once
+from benchmarks.conftest import emit, record_bench, run_once, sweep_executor
 from repro.apps.miniamr import AMRParams, build_mesh_schedule, run_miniamr
-from repro.harness import JobSpec, MARENOSTRUM4, format_series, parallel_efficiency
+from repro.harness import (
+    JobSpec,
+    MARENOSTRUM4,
+    SweepPoint,
+    format_series,
+    parallel_efficiency,
+)
 
 NODES = [1, 2, 4, 8, 16]
 VARIANTS = ["mpi", "tampi", "tagaspi"]
@@ -19,7 +25,7 @@ PARAMS = AMRParams(nx=4, ny=4, nz=4, max_level=2, cell_dim=8, variables=20,
 
 
 def _sweep():
-    results = {v: [] for v in VARIANTS}
+    points = []
     scheds = {}
     for n in NODES:
         for v in VARIANTS:
@@ -28,8 +34,12 @@ def _sweep():
                            poll_period_us=50)
             if spec.n_ranks not in scheds:
                 scheds[spec.n_ranks] = build_mesh_schedule(PARAMS, spec.n_ranks)
-            results[v].append(
-                run_miniamr(spec, PARAMS, schedule=scheds[spec.n_ranks]))
+            points.append(SweepPoint(
+                run_miniamr, spec, PARAMS,
+                run_kwargs={"schedule": scheds[spec.n_ranks]}, label=(v, n)))
+    results = {v: [] for v in VARIANTS}
+    for pt, res in zip(points, sweep_executor().map(points)):
+        results[pt.label[0]].append(res)
     return results
 
 

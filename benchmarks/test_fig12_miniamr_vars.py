@@ -10,9 +10,9 @@ import dataclasses
 
 import pytest
 
-from benchmarks.conftest import emit, record_bench, run_once
+from benchmarks.conftest import emit, record_bench, run_once, sweep_executor
 from repro.apps.miniamr import AMRParams, build_mesh_schedule, run_miniamr
-from repro.harness import JobSpec, MARENOSTRUM4, format_series
+from repro.harness import JobSpec, MARENOSTRUM4, SweepPoint, format_series
 
 N_NODES = 16
 VARIABLES = [10, 20, 30, 40]
@@ -22,8 +22,7 @@ BASE = AMRParams(nx=4, ny=4, nz=4, max_level=2, cell_dim=8, variables=20,
 
 
 def _sweep():
-    out = {v: {} for v in VARIANTS}
-    out_nr = {v: {} for v in VARIANTS}
+    points = []
     scheds = {}
     for nv in VARIABLES:
         params = dataclasses.replace(BASE, variables=nv)
@@ -33,9 +32,15 @@ def _sweep():
                            poll_period_us=50)
             if spec.n_ranks not in scheds:
                 scheds[spec.n_ranks] = build_mesh_schedule(params, spec.n_ranks)
-            res = run_miniamr(spec, params, schedule=scheds[spec.n_ranks])
-            out[v][nv] = res.throughput
-            out_nr[v][nv] = res.throughput_nr
+            points.append(SweepPoint(
+                run_miniamr, spec, params,
+                run_kwargs={"schedule": scheds[spec.n_ranks]}, label=(v, nv)))
+    out = {v: {} for v in VARIANTS}
+    out_nr = {v: {} for v in VARIANTS}
+    for pt, res in zip(points, sweep_executor().map(points)):
+        v, nv = pt.label
+        out[v][nv] = res.throughput
+        out_nr[v][nv] = res.throughput_nr
     return out, out_nr
 
 

@@ -11,10 +11,10 @@ variability. Scaled to 8 / 4 nodes and 131072-element chunks
 
 import pytest
 
-from benchmarks.conftest import emit, record_bench, run_once
+from benchmarks.conftest import emit, record_bench, run_once, sweep_executor
 from repro.apps.streaming import StreamingParams
 from repro.apps.streaming.runner import run_streaming_steady
-from repro.harness import JobSpec, MARENOSTRUM4, CTE_AMD, format_series
+from repro.harness import JobSpec, MARENOSTRUM4, CTE_AMD, SweepPoint, format_series
 from repro.tasking import RuntimeConfig
 
 BLOCK_SIZES = [512, 2048, 4096, 8192, 16384]
@@ -23,7 +23,7 @@ E = 131072
 
 
 def _sweep(machine, n_nodes):
-    out = {v: {} for v in VARIANTS}
+    points = []
     for bs in BLOCK_SIZES:
         params = StreamingParams(chunks=12, elements_per_chunk=E,
                                  block_size=bs, compute_data=False)
@@ -33,9 +33,13 @@ def _sweep(machine, n_nodes):
                 dispatch_overhead=0.2e-6)
             spec = JobSpec(machine=machine, n_nodes=n_nodes, variant=v,
                            poll_period_us=15, runtime_config=rc)
-            res = run_streaming_steady(spec, params, warm_chunks=6)
-            # report system-wide processed elements (chunks pass every node)
-            out[v][bs] = res.throughput * n_nodes
+            points.append(SweepPoint(run_streaming_steady, spec, params,
+                                     run_kwargs={"warm_chunks": 6},
+                                     label=(v, bs)))
+    out = {v: {} for v in VARIANTS}
+    for pt, res in zip(points, sweep_executor().map(points)):
+        # report system-wide processed elements (chunks pass every node)
+        out[pt.label[0]][pt.label[1]] = res.throughput * n_nodes
     return out
 
 

@@ -28,14 +28,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"one of: {', '.join(bench_names())}")
     parser.add_argument("--outdir", default=".",
                         help="directory for BENCH_<name>.json (default: .)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="process-pool size for the sweep benchmark "
+                             "(default: 2)")
     args = parser.parse_args(argv)
 
     names = args.only or bench_names()
     for name in names:
-        payload = run_bench(name, quick=args.quick)
+        payload = run_bench(name, quick=args.quick, workers=args.workers)
         path = write_bench_json(name, payload, args.outdir)
         summary = f"{name:9s} {payload['throughput']:12,.0f} {payload['unit']}"
         if "speedup" in payload:
-            summary += f"  ({payload['speedup']:.2f}x vs pre-overhaul baseline)"
+            baseline = ("serial sweep" if name == "sweep"
+                        else "pre-overhaul baseline")
+            summary += f"  ({payload['speedup']:.2f}x vs {baseline})"
         print(f"{summary}  -> {path}")
     return 0

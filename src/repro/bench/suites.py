@@ -1,6 +1,6 @@
 """The pinned microbenchmark suite behind ``python -m repro.bench``.
 
-Four benchmarks, each emitting one ``BENCH_<name>.json``:
+Five benchmarks, each emitting one ``BENCH_<name>.json``:
 
 ``engine``
     Events/sec through :meth:`Engine.run` on three workloads, against the
@@ -37,6 +37,12 @@ Four benchmarks, each emitting one ``BENCH_<name>.json``:
     feel"; cost-model only (``compute_data=False``) so it measures the
     simulator, not numpy.
 
+``sweep``
+    A fig-09-style grid through :mod:`repro.harness.parallel`: serial vs
+    multi-process wall time (identical results asserted) plus a cold/warm
+    result-cache pass (warm re-run executes zero jobs). ``--workers``
+    selects the pool size.
+
 Methodology, applied uniformly: all object construction happens *outside*
 the timed region; every timed region is repeated ``reps`` times and the
 best (minimum) wall time is kept, which is the standard way to reject
@@ -46,6 +52,7 @@ comparison run interleaved in the same process.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Dict, List
 
@@ -60,9 +67,16 @@ def bench_names() -> List[str]:
     return list(_BUILDERS)
 
 
-def run_bench(name: str, quick: bool = False) -> dict:
-    """Run one benchmark; returns its JSON-ready payload."""
-    return _BUILDERS[name](quick=quick)
+def run_bench(name: str, quick: bool = False, **kwargs) -> dict:
+    """Run one benchmark; returns its JSON-ready payload. Extra kwargs
+    (e.g. ``workers=`` for the ``sweep`` benchmark) are forwarded only to
+    builders that accept them."""
+    import inspect
+
+    fn = _BUILDERS[name]
+    accepted = inspect.signature(fn).parameters
+    kwargs = {k: v for k, v in kwargs.items() if k in accepted and v is not None}
+    return fn(quick=quick, **kwargs)
 
 
 def _register(fn):
@@ -313,5 +327,89 @@ def bench_gs(quick: bool = False) -> dict:
         "throughput": events / wall,
         "sim_time_s": sim_time,
         "gupdates_per_s": params.gupdates(sim_time),
+        "quick": quick,
+    }
+
+
+# ----------------------------------------------------------------------
+# sweep (parallel execution + cache, repro.harness.parallel)
+# ----------------------------------------------------------------------
+@_register
+def bench_sweep(quick: bool = False, workers: int = 2) -> dict:
+    """A fig-09-style grid (variant × nodes) through the sweep layer:
+    serial vs ``workers``-process wall time (asserting identical results,
+    and — on machines with at least two cores — a wall-clock win) and a
+    cold/warm pass through the on-disk result cache (asserting the warm
+    re-run executes zero jobs)."""
+    import tempfile
+
+    from repro.apps.gauss_seidel.common import GSParams
+    from repro.apps.gauss_seidel.runner import run_gauss_seidel
+    from repro.harness.machines import MARENOSTRUM4
+    from repro.harness.parallel import ResultCache, SweepExecutor, SweepPoint
+    from repro.harness.runner import JobSpec
+
+    machine = MARENOSTRUM4.with_cores(4)
+    if quick:
+        params = GSParams(rows=128, cols=512, timesteps=4, block_size=64,
+                          compute_data=False)
+        nodes = [1, 2]
+    else:
+        params = GSParams(rows=512, cols=4096, timesteps=10, block_size=128,
+                          compute_data=False)
+        nodes = [2, 4]
+    variants = ("mpi", "tampi", "tagaspi")
+    points = [
+        SweepPoint(run_gauss_seidel,
+                   JobSpec(machine=machine, n_nodes=n, variant=v,
+                           poll_period_us=50),
+                   params, label=(v, n))
+        for n in nodes for v in variants
+    ]
+
+    t0 = time.perf_counter()
+    serial = SweepExecutor(workers=1).map(points)
+    serial_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = SweepExecutor(workers=workers).map(points)
+    parallel_wall = time.perf_counter() - t0
+    assert serial == parallel, "parallel sweep diverged from the serial path"
+    cpus = os.cpu_count() or 1
+    if cpus >= 2 and workers >= 2 and not quick:
+        assert serial_wall > parallel_wall, (
+            f"no sweep speedup on {cpus} cores: serial {serial_wall:.2f}s "
+            f"vs {workers} workers {parallel_wall:.2f}s")
+
+    with tempfile.TemporaryDirectory() as d:
+        cold_ex = SweepExecutor(workers=workers, cache=ResultCache(d))
+        cold = cold_ex.map(points)
+        warm_ex = SweepExecutor(workers=workers, cache=ResultCache(d))
+        t0 = time.perf_counter()
+        warm = warm_ex.map(points)
+        warm_wall = time.perf_counter() - t0
+        assert warm_ex.executed_points == 0, "warm cache re-ran a job"
+        assert cold == serial and warm == serial, "cache round-trip diverged"
+        cold_stats = cold_ex.stats()
+        warm_stats = warm_ex.stats()
+
+    return {
+        "name": "sweep",
+        "unit": "points/s",
+        "points": len(points),
+        "workers": workers,
+        "variants": list(variants),
+        "nodes": nodes,
+        "rows": params.rows,
+        "cols": params.cols,
+        "timesteps": params.timesteps,
+        "cpu_count": cpus,
+        "serial_wall_s": serial_wall,
+        "wall_s": parallel_wall,
+        "warm_cache_wall_s": warm_wall,
+        "throughput": len(points) / parallel_wall,
+        "speedup": serial_wall / parallel_wall,
+        "cache_speedup": serial_wall / warm_wall,
+        "cold_cache": cold_stats,
+        "warm_cache": warm_stats,
         "quick": quick,
     }

@@ -216,7 +216,16 @@ class TAGASPI:
     def notify_iwaitall(self, seg_id: int, begin: int, count: int,
                         outs: Optional[Sequence[list]] = None) -> None:
         """``tagaspi_notify_iwaitall``: wait a consecutive range of
-        notification ids [begin, begin+count)."""
+        notification ids [begin, begin+count).
+
+        ``outs``, when given, must provide one slot per notification; a
+        short sequence is rejected *before* any event is bound (failing
+        midway would leave the earlier ids already registered).
+        """
+        if outs is not None and len(outs) < count:
+            raise TaskingError(
+                f"tagaspi_notify_iwaitall: outs has {len(outs)} slot(s) "
+                f"for {count} notifications")
         for i in range(count):
             self.notify_iwait(seg_id, begin + i, None if outs is None else outs[i])
 
@@ -301,7 +310,7 @@ class TAGASPI:
         policy = self.recovery
         inj = self.gaspi.cluster.injector
         keep: List[_TrackedOp] = []
-        for rec in self._tracked:
+        for idx, rec in enumerate(self._tracked):
             if rec.remaining <= 0:
                 continue  # completed since last pass
             if now < rec.deadline:
@@ -333,8 +342,13 @@ class TAGASPI:
                                   retries=rec.retries,
                                   policy=policy.on_exhaustion)
             if policy.on_exhaustion == "abort":
-                self._tracked = keep + [r for r in self._tracked
-                                        if r is not rec and r.remaining > 0]
+                # Leave the tracked list consistent for a caller that
+                # catches the abort and keeps polling: already-scanned
+                # records are in ``keep``; only the not-yet-scanned tail is
+                # appended (re-adding the full list would duplicate the
+                # kept entries and re-submit them on every later pass).
+                self._tracked = keep + [r for r in self._tracked[idx + 1:]
+                                        if r.remaining > 0]
                 report = inj.report if inj is not None else None
                 raise FaultAbort(
                     f"tagaspi rank {self.gaspi.rank}: {rec.op} gave up "
@@ -367,10 +381,20 @@ class TAGASPI:
         if not expired:
             return
         tr = self.runtime.engine.tracer
+        gone = set(map(id, expired))
+        self._pending_notifs = [o for o in self._pending_notifs
+                                if id(o) not in gone]
         if policy.on_exhaustion == "abort":
+            # The expired waits are dropped *before* raising so a caller
+            # that catches the abort and keeps polling does not re-abort
+            # on the same stale entries; their work units are retired to
+            # keep the pollable-work accounting consistent.
             obj = expired[0]
+            self.work.retire(len(expired))
+            for o in expired:
+                self.pool.release(o)
             if inj is not None:
-                inj.stats.gaspi_timeouts += 1
+                inj.stats.gaspi_timeouts += len(expired)
             report = inj.report if inj is not None else None
             raise FaultAbort(
                 f"tagaspi rank {self.gaspi.rank}: notification "
@@ -378,9 +402,6 @@ class TAGASPI:
                 f"(> {policy.op_timeout:.6g}s)",
                 report=report, rank=self.gaspi.rank, op="notify_iwait",
             )
-        gone = set(map(id, expired))
-        self._pending_notifs = [o for o in self._pending_notifs
-                                if id(o) not in gone]
         for obj in expired:
             if inj is not None:
                 inj.stats.gaspi_timeouts += 1

@@ -16,6 +16,14 @@ documents the scaling); every figure's bench builds jobs through
 from repro.harness.machines import Machine, MARENOSTRUM4, CTE_AMD
 from repro.harness.runner import JobSpec, Job, build_job, VariantError, VARIANTS
 from repro.harness.metrics import VariantResult, speedup, parallel_efficiency
+from repro.harness.parallel import (
+    CacheStats,
+    ResultCache,
+    SweepExecutor,
+    SweepPoint,
+    SweepPointError,
+    cache_key,
+)
 from repro.harness.report import format_table, format_series
 from repro.harness.sweep import run_variants, fault_sweep_table
 
@@ -31,6 +39,12 @@ __all__ = [
     "VariantResult",
     "speedup",
     "parallel_efficiency",
+    "CacheStats",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepPoint",
+    "SweepPointError",
+    "cache_key",
     "format_table",
     "format_series",
     "run_variants",

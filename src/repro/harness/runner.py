@@ -285,18 +285,34 @@ class Job:
     def run(self, procs, max_events: Optional[int] = 50_000_000) -> float:
         """Run until every process in ``procs`` terminates; returns the sim
         time and sweeps the metrics registry into :attr:`metrics`. Raises
-        on deadlock or process failure."""
+        on deadlock or process failure.
+
+        ``max_events`` uses the same convention as :meth:`Engine.run`: a
+        budget of N allows exactly N events to fire before raising.
+        """
         eng = self.engine
         fired = 0
         pending = list(procs)
-        while any(not p.triggered for p in pending):
+        # Completion is counted by callback instead of scanning every
+        # process per event — the scan is O(n_ranks) and dominates
+        # large-rank jobs.
+        live = [0]
+
+        def _done(_event, live=live):
+            live[0] -= 1
+
+        for p in pending:
+            if not p.triggered:
+                live[0] += 1
+                p.add_callback(_done)
+        while live[0] > 0:
             if eng.peek() == float("inf"):
                 alive = [p.name for p in pending if not p.triggered]
                 raise SimulationError(f"job deadlocked; still alive: {alive}")
+            if max_events is not None and fired >= max_events:
+                raise eng.budget_error(max_events)
             eng.step()
             fired += 1
-            if max_events is not None and fired > max_events:
-                raise eng.budget_error(max_events)
         for p in pending:
             if p.ok is False:
                 raise p.value

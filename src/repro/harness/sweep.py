@@ -5,16 +5,20 @@ runner across the paper's variants and, optionally, across a ``faults=``
 axis of named :class:`~repro.faults.FaultPlan` scenarios (the none/mild/
 severe intensity sweep of ``docs/faults.md``). Each point is an independent
 :class:`~repro.harness.runner.JobSpec`, so results are exactly what the
-single-point benches would produce.
+single-point benches would produce — and independence is what lets the
+sweep shard across processes (``workers=``) and memoize per point
+(``cache=``) through :mod:`repro.harness.parallel` without changing a
+single result (docs/harness.md).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Sequence
+from typing import Callable, Dict, Mapping, Optional, Sequence, Union
 
 from repro.faults import FaultPlan
 from repro.harness.machines import Machine
 from repro.harness.metrics import VariantResult
+from repro.harness.parallel import ResultCache, SweepExecutor, SweepPoint
 from repro.harness.report import format_table
 from repro.harness.runner import VARIANTS, JobSpec
 
@@ -27,6 +31,10 @@ def run_variants(
     variants: Sequence[str] = VARIANTS,
     faults: Optional[Mapping[str, Optional[FaultPlan]]] = None,
     seed: Optional[int] = 1,
+    workers: int = 1,
+    cache: Union[ResultCache, str, None] = None,
+    on_error: str = "raise",
+    executor: Optional[SweepExecutor] = None,
     **spec_kwargs,
 ) -> Dict[str, Dict[str, VariantResult]]:
     """Run ``run_fn(spec, params)`` for every (variant, fault plan) point.
@@ -35,13 +43,30 @@ def run_variants(
     ----------
     run_fn:
         An application runner, e.g. :func:`repro.apps.gauss_seidel.runner.
-        run_gauss_seidel`.
+        run_gauss_seidel`. Must be a top-level function (picklable) when
+        ``workers > 1``.
     params:
         The app's parameter object, or a callable ``variant -> params``
         when variants need different tuning (block sizes etc.).
     faults:
         Ordered mapping of label -> :class:`FaultPlan` (or ``None`` for the
         fault-free point). Omitted ⇒ a single ``"none"`` point per variant.
+    workers:
+        Shard the grid's points across this many processes (``1`` =
+        serial). Results are merged in deterministic (variant, label)
+        order, so the returned mapping is identical for any worker count.
+    cache:
+        A :class:`~repro.harness.parallel.ResultCache` (or a directory path
+        for one): previously-computed points are returned without
+        executing; see docs/harness.md for the invalidation model.
+    on_error:
+        ``"raise"`` (default) re-raises the first point failure after the
+        whole grid finishes; ``"capture"`` stores the
+        :class:`~repro.harness.parallel.SweepPointError` in the failing
+        point's slot and keeps going.
+    executor:
+        Pre-configured :class:`SweepExecutor`; overrides ``workers`` /
+        ``cache`` / ``on_error``.
     spec_kwargs:
         Extra :class:`JobSpec` fields (``poll_period_us``, ``n_queues``…).
 
@@ -52,14 +77,22 @@ def run_variants(
     plans: Mapping[str, Optional[FaultPlan]] = (
         {"none": None} if faults is None else dict(faults)
     )
-    out: Dict[str, Dict[str, VariantResult]] = {}
+    points = []
+    index = []
     for variant in variants:
         p = params(variant) if callable(params) else params
-        out[variant] = {}
         for label, plan in plans.items():
             spec = JobSpec(machine=machine, n_nodes=n_nodes, variant=variant,
                            seed=seed, faults=plan, **spec_kwargs)
-            out[variant][label] = run_fn(spec, p)
+            points.append(SweepPoint(run_fn, spec, p, label=(variant, label)))
+            index.append((variant, label))
+    if executor is None:
+        executor = SweepExecutor(workers=workers, cache=cache,
+                                 on_error=on_error)
+    flat = executor.map(points)
+    out: Dict[str, Dict[str, VariantResult]] = {v: {} for v in variants}
+    for (variant, label), res in zip(index, flat):
+        out[variant][label] = res
     return out
 
 

@@ -585,6 +585,108 @@ class TestTagaspiRecovery:
         assert tg0.stats_resubmits == 0 and tg0.stats_releases == 0
 
 
+class TestAbortLeavesPollerConsistent:
+    """A caller that catches a FaultAbort and keeps polling must see
+    consistent recovery state: no duplicated tracked operations (which
+    would be re-submitted on every later pass) and no stale pending
+    notifications (which would re-abort forever)."""
+
+    def _make(self, on_exhaustion="abort", op_timeout=1e-3):
+        recovery = RecoveryPolicy(op_timeout=op_timeout, max_retries=0,
+                                  on_exhaustion=on_exhaustion)
+        eng, g, rts, tgs, _ = make_tagaspi_pair(None, recovery)
+        return eng, g, tgs[0]
+
+    def test_abort_does_not_duplicate_tracked_ops(self):
+        from repro.core.tagaspi import _TrackedOp
+
+        eng, g, tg = self._make()
+        live = _TrackedOp("read", 0, {}, None, False, 1, deadline=100.0)
+        doomed = _TrackedOp("read", 0, {}, None, False, 1, deadline=0.5)
+        tg._tracked = [live, doomed]
+
+        with pytest.raises(FaultAbort) as ei:
+            tg._check_recovery(now=1.0)
+        assert ei.value.op == "read"
+        # the survivor appears exactly once; the aborted op is gone
+        assert tg._tracked == [live]
+        # a second poll past the abort is clean: nothing re-aborts,
+        # nothing gets re-submitted
+        tg._check_recovery(now=1.0)
+        assert tg._tracked == [live]
+        assert tg.stats_resubmits == 0
+
+    def test_abort_scans_the_tail_past_the_aborting_op(self):
+        from repro.core.tagaspi import _TrackedOp
+
+        eng, g, tg = self._make()
+        doomed = _TrackedOp("read", 0, {}, None, False, 1, deadline=0.5)
+        done = _TrackedOp("write", 0, {}, None, False, 1, deadline=0.5)
+        done.remaining = 0  # completed since the last pass
+        tail = _TrackedOp("write", 0, {}, None, False, 1, deadline=100.0)
+        tg._tracked = [doomed, done, tail]
+
+        with pytest.raises(FaultAbort):
+            tg._check_recovery(now=1.0)
+        # completed entries are dropped, the live tail is preserved once
+        assert tg._tracked == [tail]
+
+    def test_notification_abort_clears_pending_state(self):
+        eng, g, tg = self._make()
+        objs = [tg.pool.acquire().assign(0, i, None, None, False,
+                                         registered_at=0.0)
+                for i in range(2)]
+        tg._pending_notifs = list(objs)
+        tg.work.notify_work(2)
+
+        with pytest.raises(FaultAbort) as ei:
+            tg._check_recovery(now=1.0)
+        assert ei.value.op == "notify_iwait"
+        # the expired waits were removed *before* the raise and their work
+        # units retired — the poller's books balance
+        assert tg._pending_notifs == []
+        assert tg.work.pending == 0
+        # a later poll does not re-abort on the stale entries
+        tg._check_recovery(now=2.0)
+
+    def test_caught_notify_abort_then_continue_end_to_end(self):
+        # receiver waits on a notification whose producing write_notify is
+        # permanently dropped; the caller catches the abort — afterwards
+        # the receiver's poller state must be consistent: expired waits
+        # gone, work accounting balanced, and a resumed polling pass clean
+        plan = FaultPlan(scripted=(ScriptedFault("drop", 0, 1, nth=0,
+                                                 kind="write_notify"),),
+                         nic_ack=False)
+        recovery = RecoveryPolicy(op_timeout=300e-6, on_exhaustion="abort")
+        eng, g, (rt0, rt1), (tg0, tg1), inj = make_tagaspi_pair(plan, recovery)
+        g.rank(0).segment_register(0, np.ones(8))
+        g.rank(1).segment_register(0, np.zeros(8))
+
+        def sender_main(rt):
+            def write(task):
+                tg0.write_notify(0, 0, 1, 0, 0, 8, notif_id=0, notif_val=1,
+                                 queue=0)
+            rt.submit(write, [], label="write")
+            yield from rt.taskwait()
+
+        def receiver_main(rt):
+            def wait(task):
+                tg1.notify_iwait(0, 0)
+            rt.submit(wait, [Out("n")], label="wait")
+            yield from rt.taskwait()
+
+        with pytest.raises(FaultAbort):
+            run_all(eng, [rt0.spawn_main(sender_main),
+                          rt1.spawn_main(receiver_main)])
+        assert tg1._pending_notifs == []
+        assert tg1.work.pending == 0
+        before = inj.stats.gaspi_timeouts
+        # resumed polling passes see no stale entries and never re-abort
+        tg1._check_recovery(eng.now + 1.0)
+        tg1._check_recovery(eng.now + 2.0)
+        assert inj.stats.gaspi_timeouts == before
+
+
 class TestTampiRecovery:
     def _make(self, recovery, plan=None):
         eng, cl, inj = make_cluster(plan)

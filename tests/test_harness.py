@@ -130,3 +130,47 @@ class TestReport:
         rows = out.splitlines()[4:]
         assert rows[0].split() == ["-", "1"]
         assert rows[1].split() == ["x", "-"]
+
+
+class TestJobRunBudget:
+    """Job.run's event budget must follow the Engine.run convention: a
+    budget of N allows exactly N events to fire before raising."""
+
+    def _run(self, max_events=None):
+        from repro.sim import SimulationError  # noqa: F401 (re-export check)
+
+        job = build_job(JobSpec(machine=MARENOSTRUM4, n_nodes=1,
+                                variant="mpi"))
+        eng = job.engine
+
+        def ticker():
+            for _ in range(5):
+                yield eng.timeout(1e-6)
+
+        job.run([eng.process(ticker())], max_events=max_events)
+        return job
+
+    def test_budget_of_exactly_n_events_succeeds(self):
+        n = self._run().engine.event_count
+        assert n > 0
+        assert self._run(max_events=n).engine.event_count == n
+
+    def test_budget_of_n_minus_one_raises(self):
+        from repro.sim import SimulationError
+
+        n = self._run().engine.event_count
+        with pytest.raises(SimulationError, match="budget"):
+            self._run(max_events=n - 1)
+
+    def test_deadlock_detected(self):
+        from repro.sim import SimulationError
+
+        job = build_job(JobSpec(machine=MARENOSTRUM4, n_nodes=1,
+                                variant="mpi"))
+        eng = job.engine
+
+        def stuck():
+            yield eng.event()  # never triggered
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            job.run([eng.process(stuck())])

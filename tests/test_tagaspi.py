@@ -190,6 +190,38 @@ class TestNotifyIwait:
 
         run_all(eng, [rt1.spawn_main(receiver_main), rt0.spawn_main(sender_main)])
 
+    def test_iwaitall_short_outs_rejected_up_front(self):
+        # a short outs sequence must fail before any id is registered —
+        # failing midway would leave the earlier waits already bound
+        eng, g, (rt0, rt1), (tg0, tg1) = make_pair()
+        g.rank(1).segment_register(0, np.zeros(1))
+        with pytest.raises(TaskingError, match="2 slot"):
+            tg1.notify_iwaitall(0, 10, 3, outs=[[], []])
+        assert tg1._pending_notifs == []  # nothing was registered
+
+    def test_iwaitall_extra_outs_slots_allowed(self):
+        eng, g, (rt0, rt1), (tg0, tg1) = make_pair()
+        g.rank(0).segment_register(0, np.zeros(1))
+        g.rank(1).segment_register(0, np.zeros(1))
+        outs = [[0] for _ in range(4)]  # one spare entry is fine
+        got = []
+
+        def sender_main(rt):
+            def body(task):
+                for i in range(3):
+                    tg0.notify(1, 0, notif_id=10 + i, notif_val=i + 1, queue=0)
+            rt.submit(body, [])
+            yield from rt.taskwait()
+
+        def receiver_main(rt):
+            rt.submit(lambda task: tg1.notify_iwaitall(0, 10, 3, outs),
+                      [Out("n")], label="waitall")
+            rt.submit(lambda task: got.extend(o[0] for o in outs[:3]), [In("n")])
+            yield from rt.taskwait()
+
+        run_all(eng, [rt0.spawn_main(sender_main), rt1.spawn_main(receiver_main)])
+        assert got == [1, 2, 3]
+
 
 class TestOnreadyIntegration:
     def test_fig8_ack_protected_writer(self):
