@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""A deliberately racy one-sided program, caught by the race detector.
+
+The bug is the classic RMA mistake the paper's notification discipline
+exists to prevent: the receiver touches its inbox segment *before*
+consuming the notification that orders the producer's ``write_notify``
+before the read. Three distinct findings come out of one short run:
+
+* ``wr-race``   — the premature read of the in-flight put's target range;
+* ``lost-update`` — the producer overwrites its own unconsumed put on the
+  same (source, target, queue) channel;
+* ``lost-notification`` — the second notification lands on an id whose
+  previous value was never consumed.
+
+The second half runs the *correct* protocol (consume the notification,
+then read) through the same checkers and finishes with zero findings.
+
+    python examples/racy_put.py
+"""
+
+import numpy as np
+
+from repro.analysis import AnalysisPipeline, SEV_ERROR
+from repro.gaspi import GaspiContext
+from repro.network import Cluster, INFINIBAND
+from repro.sim import Engine
+
+N = 64
+
+
+def build():
+    eng = Engine()
+    cluster = Cluster(eng, 2, INFINIBAND)
+    cluster.place_ranks_block(2, 1)
+    gaspi = GaspiContext(cluster, n_queues=2)
+    gaspi.rank(0).segment_register(0, np.arange(float(N)))
+    gaspi.rank(1).segment_register(0, np.zeros(N))
+    analysis = AnalysisPipeline()
+    analysis.install(eng)
+    analysis.attach_cluster(cluster)
+    analysis.attach_gaspi(gaspi)
+    return eng, gaspi, analysis
+
+
+def racy():
+    """The broken protocol: read before consuming the notification."""
+    eng, gaspi, analysis = build()
+    src, dst = gaspi.rank(0), gaspi.rank(1)
+
+    src.write_notify(0, 0, 1, 0, 0, N, notif_id=5, notif_val=1, queue=0)
+    # BUG: rank 1 reads its inbox right away -- nothing ordered the put
+    # before this access.
+    dst.segment_access(0, 0, N, mode="read")
+    # BUG: rank 0 re-sends without waiting for the consumer's ack, so the
+    # first payload (and its notification value) can never be observed.
+    src.write_notify(0, 0, 1, 0, 0, N, notif_id=5, notif_val=2, queue=0)
+    eng.run()
+
+    print(analysis.report())
+    kinds = {f.kind for f in analysis.findings}
+    assert {"wr-race", "lost-update", "lost-notification"} <= kinds, kinds
+    assert all(f.severity == SEV_ERROR for f in analysis.findings)
+    return len(analysis.findings)
+
+
+def correct():
+    """The paper's protocol: the notification-consume orders the read."""
+    eng, gaspi, analysis = build()
+    src, dst = gaspi.rank(0), gaspi.rank(1)
+
+    src.write_notify(0, 0, 1, 0, 0, N, notif_id=5, notif_val=1, queue=0)
+
+    def consumer():
+        nid, val = yield from dst.notify_waitsome(0, 5, 1)
+        assert (nid, val) == (5, 1)
+        dst.segment_access(0, 0, N, mode="read")  # now happens-after the put
+
+    done = eng.process(consumer())
+    eng.run_until_complete(done)
+    print(analysis.report())
+    assert not analysis.findings, analysis.report()
+    return 0
+
+
+def main():
+    n_racy = racy()
+    n_ok = correct()
+    print(f"\nracy run: {n_racy} error finding(s); "
+          f"correct run: {n_ok} error finding(s)")
+
+
+if __name__ == "__main__":
+    main()

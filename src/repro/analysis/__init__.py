@@ -1,0 +1,43 @@
+"""Correctness analysis for the simulated stack (docs/analysis.md).
+
+Dynamic checkers (zero-cost when disabled, bit-identical when enabled):
+
+* :class:`AnalysisPipeline` — the hook hub installed as
+  ``engine.analysis``; hosts the vector-clock RMA race detector
+  (:mod:`repro.analysis.races`), the wait-for deadlock diagnoser
+  (:mod:`repro.analysis.deadlock`), and the finalize-time resource lint
+  (:mod:`repro.analysis.resources`). Enabled per job via
+  ``JobSpec(check="report"|"strict")`` or the ``check=`` axis of
+  :func:`repro.harness.run_variants`.
+
+Static checker:
+
+* :func:`lint_paths` — the determinism lint behind
+  ``python -m repro.analysis lint src/`` (:mod:`repro.analysis.lint`).
+
+This package's import-time dependencies are stdlib-only so the engine can
+import :data:`NULL_ANALYSIS` without cycles; the simulation-aware checkers
+load lazily when a pipeline is constructed.
+"""
+
+from repro.analysis.lint import LintFinding, lint_file, lint_paths
+from repro.analysis.pipeline import (
+    NULL_ANALYSIS,
+    SEV_ERROR,
+    SEV_WARNING,
+    AnalysisError,
+    AnalysisPipeline,
+    Finding,
+)
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisPipeline",
+    "Finding",
+    "LintFinding",
+    "NULL_ANALYSIS",
+    "SEV_ERROR",
+    "SEV_WARNING",
+    "lint_file",
+    "lint_paths",
+]

@@ -1,0 +1,97 @@
+"""``python -m repro.analysis`` — the correctness-analysis command line.
+
+Two subcommands:
+
+* ``lint [paths...]`` — static determinism lint (stdlib-ast, no
+  simulation); exits 1 on findings. The CI gate runs
+  ``python -m repro.analysis lint src/``.
+* ``sweep`` — run the paper variants of Gauss–Seidel and Streaming at
+  small parameters with every dynamic checker enabled in strict mode
+  (``JobSpec(check="strict")``); exits 1 if any variant produces an
+  error-severity finding. The CI gate's dynamic half.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from typing import List, Optional
+
+from repro.analysis.lint import lint_paths
+
+
+def _cmd_lint(args) -> int:
+    findings = lint_paths(args.paths)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print(f"lint clean ({', '.join(args.paths)})")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    # imported lazily: the lint subcommand must not pull in numpy/harness
+    from repro.analysis.pipeline import AnalysisError
+    from repro.apps.gauss_seidel import GSParams, run_gauss_seidel
+    from repro.apps.streaming import StreamingParams, run_streaming
+    from repro.harness import MARENOSTRUM4, JobSpec
+
+    mach = MARENOSTRUM4.with_cores(args.cores)
+    points = [
+        ("gs", run_gauss_seidel,
+         GSParams(rows=32, cols=32, timesteps=2, block_size=16,
+                  compute_data=False)),
+        ("streaming", run_streaming,
+         StreamingParams(chunks=4, elements_per_chunk=512, block_size=128,
+                         compute_data=False)),
+    ]
+    failures = 0
+    for app, run_fn, params in points:
+        for variant in ("mpi", "tampi", "tagaspi"):
+            spec = JobSpec(machine=mach, n_nodes=args.nodes, variant=variant,
+                           seed=args.seed, check="strict")
+            try:
+                res = run_fn(spec, params)
+            except AnalysisError as exc:
+                failures += 1
+                print(f"FAIL {app}/{variant}: {exc}")
+                continue
+            print(f"ok   {app}/{variant}: sim_time={res.sim_time:.6g}s, "
+                  f"0 error findings")
+    if failures:
+        print(f"{failures} strict-checked point(s) failed")
+        return 1
+    print("checked sweep clean (all variants race/deadlock-free)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="correctness analysis: static determinism lint and "
+                    "strict-checked variant sweep")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_lint = sub.add_parser("lint", help="static determinism lint")
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories (default: src)")
+    p_lint.set_defaults(fn=_cmd_lint)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run small paper variants with check=strict")
+    p_sweep.add_argument("--nodes", type=int, default=2)
+    p_sweep.add_argument("--cores", type=int, default=4)
+    p_sweep.add_argument("--seed", type=int, default=1)
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    args = parser.parse_args(argv)
+    if not getattr(args, "paths", True):
+        args.paths = ["src"]
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

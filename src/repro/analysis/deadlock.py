@@ -1,0 +1,175 @@
+"""Wait-for graph construction and deadlock diagnosis.
+
+The diagnoser is *pull-based*: it inspects the pipeline's registries at
+the moment something already went wrong (event-budget exhaustion, drained
+event queue with processes still alive, or an explicit
+``pipeline.deadlock_report()``) and reconstructs who is blocked on whom:
+
+* **push-registered waits** — every blocking generator in the stack
+  (``notify_waitsome``, ``gaspi_wait``, blocking ``request_wait``,
+  ``MPI wait``/``waitall``, ``taskwait``) brackets its suspension with
+  ``wait_enter``/``wait_exit``, so the active :class:`WaitRecord` set is
+  exact;
+* **MPI requests** — an unmatched pending recv or a rendezvous send stuck
+  in handshake yields a directed edge owner → peer;
+* **TAGASPI pending notifications** and **blocked tasks** — a task whose
+  completion hangs on a notification that never arrives has no known
+  producer, so it contributes edges to *every* other blocked process
+  (conservative: a cycle through it is a candidate, and the per-process
+  blocked-site listing lets the user finish the diagnosis).
+
+Everything is iterated in sorted order so the report (and the cycle found
+first) is a pure function of simulation state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.pipeline import SEV_ERROR, _actor
+
+#: wait sites whose producer is unknowable locally: they contribute
+#: edges to every other blocked actor
+_BROADCAST_SITES = ("notify_waitsome", "taskwait")
+
+
+class DeadlockDiagnoser:
+    """Builds the wait-for graph and names the cycle, if any."""
+
+    def __init__(self, pipeline):
+        self.pipeline = pipeline
+        self._reported = False
+
+    # ------------------------------------------------------------------
+    def diagnose(self) -> str:
+        """Return a per-process blocked-site summary plus the wait-for
+        cycle if one exists; records a ``deadlock-cycle`` error finding
+        (once) when a cycle is found."""
+        sites, edges = self._collect()
+        if not sites:
+            return "wait-for diagnosis: no blocked primitives registered"
+        lines = [f"wait-for diagnosis ({len(sites)} blocked process(es)):"]
+        for actor in sorted(sites):
+            for desc in sites[actor]:
+                lines.append(f"  {actor}: {desc}")
+            targets = sorted(edges.get(actor, ()))
+            if targets:
+                lines.append(f"  {actor} waits for: " + ", ".join(targets))
+        cycle = self._find_cycle(sorted(sites), edges)
+        if cycle:
+            chain = " -> ".join(cycle + [cycle[0]])
+            lines.append(f"deadlock cycle: {chain}")
+            if not self._reported:
+                self._reported = True
+                self.pipeline.add_finding(
+                    "deadlock", "deadlock-cycle", SEV_ERROR, cycle[0],
+                    f"circular wait: {chain}; blocked sites: "
+                    + "; ".join(f"{a}: {sites[a][0]}" for a in cycle),
+                    cycle=tuple(cycle))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # graph construction
+    # ------------------------------------------------------------------
+    def _collect(self) -> Tuple[Dict[str, List[str]], Dict[str, Set[str]]]:
+        pl = self.pipeline
+        sites: Dict[str, List[str]] = {}
+        edges: Dict[str, Set[str]] = {}
+        broadcast: List[str] = []  # actors whose producer is unknown
+
+        def add_site(actor: str, desc: str) -> None:
+            sites.setdefault(actor, []).append(desc)
+
+        def add_edge(src: str, dst: str) -> None:
+            if src != dst:
+                edges.setdefault(src, set()).add(dst)
+
+        for w in pl.active_waits:
+            info = ", ".join(f"{k}={v}" for k, v in sorted(w.info.items()))
+            add_site(w.actor, f"blocked in {w.site}({info}) "
+                              f"since t={w.since:.6g}s")
+            peer = w.info.get("peer")
+            if peer is not None:
+                add_edge(w.actor, _actor(peer))
+            elif w.site in _BROADCAST_SITES:
+                broadcast.append(w.actor)
+
+        # live MPI requests: unmatched recvs and handshake-stuck sends
+        for req in pl.mpi_requests:
+            if req.done:
+                continue
+            actor = _actor(req.owner)
+            state = req.state.name.lower()
+            add_site(actor, f"{req.kind} tag={req.tag} "
+                            f"peer=rank{req.peer} {state}")
+            if req.kind == "recv" or state == "handshake":
+                add_edge(actor, _actor(req.peer))
+
+        # TAGASPI: tasks whose completion hangs on a notification
+        for lib in pl.tagaspi_libs:
+            actor = _actor(lib.gaspi.rank)
+            for obj in lib._pending_notifs:
+                add_site(actor, f"task {obj.task.label}#{obj.task.uid} "
+                                f"awaits notification (seg {obj.seg_id}, "
+                                f"id {obj.notif_id})")
+                broadcast.append(actor)
+
+        # blocked tasks (unreleased dependencies / unfulfilled events)
+        per_rt: Dict[str, List[str]] = {}
+        for (rt_name, _uid), task in sorted(pl.live_tasks.items()):
+            st = task.state.name
+            if st in ("RUNNING", "READY", "COMPLETED"):
+                continue
+            why = {
+                "CREATED": f"{task.remaining_deps} unreleased dep(s)",
+                "READY_BLOCKED": f"{task.pre_events} onready pre-event(s)",
+                "FINISHED": f"{task.events} unfulfilled event(s)",
+                "SUSPENDED": "suspended",
+            }.get(st, st)
+            per_rt.setdefault(rt_name, []).append(
+                f"{task.label}#{task.uid} ({why})")
+        for rt_name in sorted(per_rt):
+            blocked = per_rt[rt_name]
+            shown = ", ".join(blocked[:4])
+            if len(blocked) > 4:
+                shown += f", ... ({len(blocked) - 4} more)"
+            add_site(rt_name, f"{len(blocked)} blocked task(s): {shown}")
+
+        # unknown-producer waiters may be fed by anyone still blocked
+        for actor in broadcast:
+            for other in sites:
+                add_edge(actor, other)
+        return sites, edges
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _find_cycle(nodes: List[str],
+                    edges: Dict[str, Set[str]]) -> List[str]:
+        """First cycle by DFS in sorted node/edge order ([] if acyclic)."""
+        done: Set[str] = set()
+        for root in nodes:
+            if root in done:
+                continue
+            path: List[str] = []
+            on_path: Set[str] = set()
+
+            def visit(node: str) -> List[str]:
+                if node in on_path:
+                    return path[path.index(node):]
+                if node in done:
+                    return []
+                path.append(node)
+                on_path.add(node)
+                for nxt in sorted(edges.get(node, ())):
+                    cyc = visit(nxt)
+                    if cyc:
+                        return cyc
+                path.pop()
+                on_path.discard(node)
+                done.add(node)
+                return []
+
+            cycle = visit(root)
+            if cycle:
+                return cycle
+        return []

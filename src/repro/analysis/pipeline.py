@@ -1,0 +1,298 @@
+"""The checker pipeline core: findings and the null-analysis fast path.
+
+Design constraints (identical to :mod:`repro.trace.tracer`):
+
+* **Zero cost when disabled.** Every hook site in the stack is written as
+  ``an = engine.analysis; if an.enabled: an.on_...()`` — with the
+  process-wide :data:`NULL_ANALYSIS` installed (the default), the per-site
+  cost is one attribute read and a falsy branch, and *nothing* is checked.
+* **Deterministic.** Findings carry only simulated time and model state —
+  never wall-clock or object ids — so identical seeds produce identical
+  findings (asserted by ``tests/test_analysis.py``).
+* **Passive.** Checking never schedules events, charges CPU, or otherwise
+  perturbs the simulation: a checked run is bit-identical in sim time and
+  results to an unchecked one (asserted by ``tests/test_determinism.py``).
+
+The pipeline hosts three dynamic checkers (each individually switchable):
+
+* :class:`~repro.analysis.races.RaceDetector` — vector-clock happens-before
+  RMA race detection per segment byte-range;
+* :class:`~repro.analysis.deadlock.DeadlockDiagnoser` — wait-for graph over
+  blocked primitives, reported on cycle or event-budget exhaustion;
+* the finalize-time resource lint of :mod:`repro.analysis.resources`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: finding severities: ``error`` findings fail a ``check="strict"`` run;
+#: ``warning`` findings are reported but tolerated (e.g. the trailing
+#: unconsumed halo notification every wavefront code leaves at job end).
+SEV_ERROR = "error"
+SEV_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checker finding. Carries only simulated time and model state."""
+
+    checker: str            #: "races" | "deadlock" | "resources"
+    kind: str               #: machine-readable finding class
+    severity: str           #: SEV_ERROR or SEV_WARNING
+    rank: object            #: process the finding is attributed to
+    time: float             #: simulated time of detection
+    message: str            #: human-readable description
+    details: Tuple = ()     #: sorted (key, value) pairs for tooling
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return (f"[{self.severity}] {self.checker}/{self.kind} "
+                f"rank={self.rank} t={self.time:.6g}s: {self.message}")
+
+
+class AnalysisError(RuntimeError):
+    """Raised at finalize by a ``check="strict"`` run with error findings."""
+
+    def __init__(self, message: str, findings: List[Finding]):
+        super().__init__(message)
+        self.findings = findings
+
+
+def _actor(rank: object) -> str:
+    """Normalize a process identity: int GASPI/MPI ranks and the harness's
+    ``rank{N}`` runtime names address the same simulated process."""
+    return f"rank{rank}" if isinstance(rank, int) else str(rank)
+
+
+@dataclass
+class WaitRecord:
+    """One active blocking primitive (registered by the layer's generator
+    around its suspension, removed in its ``finally``)."""
+
+    actor: str
+    site: str               #: "notify_waitsome", "mpi_wait", "taskwait", ...
+    since: float
+    info: Dict[str, object] = field(default_factory=dict)
+
+
+class AnalysisPipeline:
+    """Collects correctness findings from the instrumented stack.
+
+    Parameters
+    ----------
+    races / deadlock / resources:
+        Enable the individual checkers (all on by default).
+    strict:
+        :meth:`finalize` raises :class:`AnalysisError` when error-severity
+        findings were recorded (``JobSpec(check="strict")``).
+    """
+
+    enabled = True
+
+    def __init__(self, races: bool = True, deadlock: bool = True,
+                 resources: bool = True, strict: bool = False):
+        from repro.analysis.deadlock import DeadlockDiagnoser
+        from repro.analysis.races import RaceDetector
+
+        self.strict = strict
+        self.engine = None
+        self.race_detector: Optional[RaceDetector] = (
+            RaceDetector(self) if races else None)
+        self.deadlock_diagnoser: Optional[DeadlockDiagnoser] = (
+            DeadlockDiagnoser(self) if deadlock else None)
+        self.check_resources = resources
+        self.findings: List[Finding] = []
+        self.warnings: List[Finding] = []
+        #: registered layer objects, pulled at diagnosis/finalize time
+        self.gaspi_ctx = None
+        self.cluster = None
+        self.tagaspi_libs: List = []
+        self.runtimes: List = []
+        #: live (created, not yet done) MPI requests
+        self.mpi_requests: List = []
+        #: live non-independent tasks: (runtime name, task uid) -> task
+        self.live_tasks: Dict[Tuple[str, int], object] = {}
+        #: in-flight (sent, undelivered) messages: uid -> summary tuple
+        self.inflight_msgs: Dict[int, Tuple] = {}
+        #: active blocking waits: token -> WaitRecord
+        self._waits: Dict[int, WaitRecord] = {}
+        self._wait_seq = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # installation / layer registration
+    # ------------------------------------------------------------------
+    def install(self, engine) -> "AnalysisPipeline":
+        """Attach this pipeline as ``engine.analysis`` (the hook sites'
+        access path) and return it."""
+        self.engine = engine
+        engine.analysis = self
+        return self
+
+    def attach_cluster(self, cluster) -> None:
+        self.cluster = cluster
+        if self.race_detector is not None:
+            self.race_detector.set_ranks(cluster.n_ranks)
+
+    def attach_gaspi(self, gaspi_ctx) -> None:
+        self.gaspi_ctx = gaspi_ctx
+
+    def attach_tagaspi(self, tagaspi) -> None:
+        self.tagaspi_libs.append(tagaspi)
+
+    def attach_runtime(self, runtime) -> None:
+        self.runtimes.append(runtime)
+
+    # ------------------------------------------------------------------
+    # finding collection
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return 0.0 if self.engine is None else self.engine.now
+
+    def add_finding(self, checker: str, kind: str, severity: str,
+                    rank: object, message: str, **details) -> Finding:
+        f = Finding(checker=checker, kind=kind, severity=severity,
+                    rank=_actor(rank), time=self._now(), message=message,
+                    details=tuple(sorted(details.items())))
+        (self.findings if severity == SEV_ERROR else self.warnings).append(f)
+        return f
+
+    @property
+    def error_count(self) -> int:
+        return len(self.findings)
+
+    # ------------------------------------------------------------------
+    # GASPI hooks (repro.gaspi.proc)
+    # ------------------------------------------------------------------
+    def on_gaspi_submit(self, rank, operation, queue, *, local_seg, local_off,
+                        dest, remote_seg, remote_off, count, notif_id,
+                        reqs) -> None:
+        rd = self.race_detector
+        if rd is not None:
+            rd.on_submit(rank, operation, queue, local_seg, local_off, dest,
+                         remote_seg, remote_off, count, notif_id)
+
+    def on_put_delivered(self, rank, msg) -> None:
+        rd = self.race_detector
+        if rd is not None:
+            rd.on_put_delivered(rank, msg)
+
+    def on_notify_delivered(self, rank, msg) -> None:
+        rd = self.race_detector
+        if rd is not None:
+            rd.on_notify_delivered(rank, msg)
+
+    def on_remote_read(self, rank, msg) -> None:
+        rd = self.race_detector
+        if rd is not None:
+            rd.on_remote_read(rank, msg)
+
+    def on_read_resp(self, rank, seg_id, offset, count) -> None:
+        rd = self.race_detector
+        if rd is not None:
+            rd.on_read_resp(rank, seg_id, offset, count)
+
+    def on_notify_consumed(self, rank, seg_id, notif_id, value) -> None:
+        rd = self.race_detector
+        if rd is not None:
+            rd.on_consume(rank, seg_id, notif_id, value)
+
+    def on_local_access(self, rank, seg_id, offset, count, mode) -> None:
+        rd = self.race_detector
+        if rd is not None:
+            rd.on_local_access(rank, seg_id, offset, count, mode)
+
+    # ------------------------------------------------------------------
+    # MPI / tasking / network hooks
+    # ------------------------------------------------------------------
+    def on_mpi_request(self, req) -> None:
+        self.mpi_requests.append(req)
+
+    def on_task_submit(self, task, runtime) -> None:
+        self.live_tasks[(runtime.name, task.uid)] = task
+
+    def on_task_complete(self, task, runtime) -> None:
+        self.live_tasks.pop((runtime.name, task.uid), None)
+
+    def on_msg_send(self, msg) -> None:
+        self.inflight_msgs[msg.uid] = (
+            msg.src_rank, msg.dst_rank, msg.protocol, msg.kind, msg.nbytes)
+
+    def on_msg_deliver(self, msg) -> None:
+        self.inflight_msgs.pop(msg.uid, None)
+
+    # ------------------------------------------------------------------
+    # blocking-wait registry (deadlock diagnosis)
+    # ------------------------------------------------------------------
+    def wait_enter(self, rank, site: str, **info) -> int:
+        self._wait_seq += 1
+        token = self._wait_seq
+        self._waits[token] = WaitRecord(actor=_actor(rank), site=site,
+                                        since=self._now(), info=info)
+        return token
+
+    def wait_exit(self, token: Optional[int]) -> None:
+        if token is not None:
+            self._waits.pop(token, None)
+
+    @property
+    def active_waits(self) -> List[WaitRecord]:
+        return [self._waits[k] for k in sorted(self._waits)]
+
+    # ------------------------------------------------------------------
+    # diagnosis & finalize
+    # ------------------------------------------------------------------
+    def deadlock_report(self) -> str:
+        """Wait-for diagnosis of the current blocked state (used to enrich
+        budget-exhaustion and drained-queue errors); "" when the deadlock
+        checker is off."""
+        if self.deadlock_diagnoser is None:
+            return ""
+        return self.deadlock_diagnoser.diagnose()
+
+    def finalize(self) -> List[Finding]:
+        """Run the finalize-time resource lint and, in strict mode, raise
+        :class:`AnalysisError` if any error finding was recorded. Returns
+        the error findings. Idempotent."""
+        if not self._finalized:
+            self._finalized = True
+            if self.check_resources:
+                from repro.analysis.resources import collect_resource_findings
+                collect_resource_findings(self)
+        if self.strict and self.findings:
+            lines = [str(f) for f in self.findings]
+            raise AnalysisError(
+                "correctness analysis found "
+                f"{len(self.findings)} error(s):\n  " + "\n  ".join(lines),
+                list(self.findings),
+            )
+        return list(self.findings)
+
+    def report(self) -> str:
+        """Human-readable summary of all findings and warnings."""
+        lines = [f"analysis: {len(self.findings)} error(s), "
+                 f"{len(self.warnings)} warning(s)"]
+        for f in self.findings + self.warnings:
+            lines.append(f"  {f}")
+        return "\n".join(lines)
+
+
+class _NullAnalysis:
+    """Do-nothing stand-in; ``enabled`` is False so instrumented code never
+    calls past the guard. A process-wide singleton is shared by default."""
+
+    enabled = False
+    strict = False
+    findings: List[Finding] = []
+    warnings: List[Finding] = []
+
+    def deadlock_report(self) -> str:
+        return ""
+
+    def finalize(self) -> List[Finding]:
+        return []
+
+
+#: process-wide disabled pipeline (``Engine``'s default ``analysis``)
+NULL_ANALYSIS = _NullAnalysis()

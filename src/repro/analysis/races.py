@@ -1,0 +1,336 @@
+"""Vector-clock happens-before RMA race detection.
+
+The detector models *GASPI-guaranteed* ordering, which is deliberately
+weaker than the simulator's transport (the sim delivers FIFO per rank
+pair; GASPI only orders operations on the same queue toward the same
+target). Tracked facts:
+
+* every ``write``/``write_notify`` creates a :class:`PutRecord` carrying a
+  monotonic serial, the submitter's vector-clock snapshot, and its *epoch*
+  (the submitter's own clock component) — FastTrack-style;
+* a notification (standalone ``notify`` or the notify half of
+  ``write_notify``) *covers* every put submitted before it on the same
+  channel ``(source, target, queue)``: GASPI guarantees a notification is
+  not delivered before preceding same-queue writes to the same rank are
+  remotely complete;
+* **consuming** a notification (``gaspi_notify_reset`` semantics — via
+  ``notify_test``, ``notify_waitsome``, or TAGASPI's poller) joins the
+  notification's clock into the consumer's clock and *retires* the covered
+  puts: they are now happens-before any later access by that rank.
+
+Checks (all per segment byte-range, interval overlap):
+
+* **w/r race** — a declared read (``GaspiRank.segment_access``, a remote
+  ``gaspi_read`` service, or a put's source-buffer read) overlapping an
+  unretired put whose epoch the reader's clock does not dominate;
+* **w/w race** — a new put (or local declared write) overlapping an
+  unretired put from a different channel; same-channel overwrites of an
+  unconsumed put are FIFO-ordered but still flagged as *lost updates*;
+* **lost notification** — ``post_notification`` over a value that was
+  never consumed.
+
+Known approximations (see docs/analysis.md): clocks have rank
+granularity (intra-rank ordering through task dependencies is implicit),
+and a consumed notification joins the producer's *full* clock, so a racy
+put on a different queue than the notification can be missed (false
+negatives only — never false positives — for cross-queue put/notify
+splits).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.analysis.pipeline import SEV_ERROR
+
+#: operation names (mirrors repro.gaspi.operations; re-declared here to keep
+#: this module import-free of the simulation layers)
+_OP_WRITE = "write"
+_OP_WRITE_NOTIFY = "write_notify"
+_OP_NOTIFY = "notify"
+_OP_READ = "read"
+
+
+class PutRecord:
+    """One one-sided write targeting ``(dst, seg, [off, off+count))``."""
+
+    __slots__ = ("serial", "op", "src", "dst", "seg", "off", "count",
+                 "queue", "notif_id", "submit_t", "epoch", "clock",
+                 "delivered")
+
+    def __init__(self, serial, op, src, dst, seg, off, count, queue,
+                 notif_id, submit_t, epoch, clock):
+        self.serial = serial
+        self.op = op
+        self.src = src
+        self.dst = dst
+        self.seg = seg
+        self.off = off
+        self.count = count
+        self.queue = queue
+        self.notif_id = notif_id
+        self.submit_t = submit_t
+        self.epoch = epoch
+        self.clock = clock
+        self.delivered = False
+
+    def overlaps(self, seg: int, off: int, count: int) -> bool:
+        return (self.seg == seg and off < self.off + self.count
+                and self.off < off + count)
+
+    def range_str(self) -> str:
+        return f"seg {self.seg}[{self.off}:{self.off + self.count})"
+
+
+class NotifRecord:
+    """One delivered, unconsumed notification at ``(dst, seg, notif_id)``."""
+
+    __slots__ = ("src", "dst", "seg", "notif_id", "queue", "clock", "cover",
+                 "deliver_t")
+
+    def __init__(self, src, dst, seg, notif_id, queue, clock, cover,
+                 deliver_t):
+        self.src = src
+        self.dst = dst
+        self.seg = seg
+        self.notif_id = notif_id
+        self.queue = queue
+        self.clock = clock
+        #: covers puts on channel (src, dst, queue) with serial <= cover
+        self.cover = cover
+        self.deliver_t = deliver_t
+
+
+class RaceDetector:
+    """Happens-before tracking for every RMA byte moved."""
+
+    def __init__(self, pipeline):
+        self.pipeline = pipeline
+        self.n_ranks = 0
+        self._vc: List[List[int]] = []
+        self._serial = 0
+        #: unretired puts per target rank
+        self.pending: Dict[int, List[PutRecord]] = {}
+        #: delivered, unconsumed notifications
+        self.notif_table: Dict[Tuple[int, int, int], NotifRecord] = {}
+        #: submitted, undelivered put records per (src, dst) — the sim
+        #: delivers FIFO per rank pair, so a plain deque matches
+        self._undelivered: Dict[Tuple[int, int], Deque[PutRecord]] = {}
+        #: submitted, undelivered standalone notify ops per (src, dst)
+        self._undelivered_notifs: Dict[Tuple[int, int], Deque] = {}
+        self.stats_puts = 0
+        self.stats_consumes = 0
+        self.stats_reads_checked = 0
+
+    def set_ranks(self, n_ranks: int) -> None:
+        self.n_ranks = n_ranks
+        self._vc = [[0] * n_ranks for _ in range(n_ranks)]
+        self.pending = {r: [] for r in range(n_ranks)}
+
+    # ------------------------------------------------------------------
+    # clock helpers
+    # ------------------------------------------------------------------
+    def _tick(self, rank: int) -> int:
+        vc = self._vc[rank]
+        vc[rank] += 1
+        return vc[rank]
+
+    def _join(self, rank: int, clock: Tuple[int, ...]) -> None:
+        vc = self._vc[rank]
+        for i, c in enumerate(clock):
+            if c > vc[i]:
+                vc[i] = c
+
+    def _ordered_after(self, reader: int, put: PutRecord) -> bool:
+        """True if the put happens-before ``reader``'s current clock."""
+        return self._vc[reader][put.src] >= put.epoch
+
+    # ------------------------------------------------------------------
+    # submission side
+    # ------------------------------------------------------------------
+    def on_submit(self, src, operation, queue, local_seg, local_off, dest,
+                  remote_seg, remote_off, count, notif_id) -> None:
+        epoch = self._tick(src)
+        now = self.pipeline._now()
+        if operation in (_OP_WRITE, _OP_WRITE_NOTIFY):
+            # the put reads its local source range: racy if a remote put
+            # into that very range is still unsynchronized
+            self._check_read(src, src, local_seg, local_off, count,
+                             site=f"{operation} source buffer")
+            self._check_write(src, queue, dest, remote_seg, remote_off,
+                              count, site=operation)
+            self._serial += 1
+            rec = PutRecord(self._serial, operation, src, dest, remote_seg,
+                            remote_off, count, queue, notif_id, now, epoch,
+                            tuple(self._vc[src]))
+            self.pending[dest].append(rec)
+            self._undelivered.setdefault((src, dest), deque()).append(rec)
+            self.stats_puts += 1
+        elif operation == _OP_NOTIFY:
+            self._serial += 1
+            entry = (self._serial, remote_seg, notif_id, queue,
+                     tuple(self._vc[src]))
+            self._undelivered_notifs.setdefault((src, dest),
+                                                deque()).append(entry)
+        elif operation == _OP_READ:
+            # gaspi_read: remote range is read when the request is serviced
+            # (checked again in on_remote_read); local range is written when
+            # the response lands (checked in on_read_resp)
+            self._check_read(src, dest, remote_seg, remote_off, count,
+                             site="read target range")
+
+    # ------------------------------------------------------------------
+    # delivery side
+    # ------------------------------------------------------------------
+    def on_put_delivered(self, dst, msg) -> None:
+        q = self._undelivered.get((msg.src_rank, dst))
+        seg = msg.meta["remote_seg"]
+        off = msg.meta["remote_off"]
+        if q:
+            for rec in q:
+                if not rec.delivered and rec.seg == seg and rec.off == off:
+                    rec.delivered = True
+                    break
+            while q and q[0].delivered:
+                q.popleft()
+        if msg.kind == _OP_WRITE_NOTIFY:
+            rec = self._find_put(msg.src_rank, dst, seg,
+                                 msg.meta["notif_id"])
+            clock = rec.clock if rec is not None else ()
+            cover = rec.serial if rec is not None else self._serial
+            queue = rec.queue if rec is not None else msg.meta.get("queue", 0)
+            self._post_notif(msg.src_rank, dst, seg, msg.meta["notif_id"],
+                             queue, clock, cover)
+
+    def on_notify_delivered(self, dst, msg) -> None:
+        seg = msg.meta["remote_seg"]
+        nid = msg.meta["notif_id"]
+        q = self._undelivered_notifs.get((msg.src_rank, dst))
+        entry = None
+        if q:
+            for i, e in enumerate(q):
+                if e[1] == seg and e[2] == nid:
+                    entry = e
+                    del q[i]
+                    break
+        if entry is None:
+            serial, queue, clock = self._serial, msg.meta.get("queue", 0), ()
+        else:
+            serial, _, _, queue, clock = entry
+        self._post_notif(msg.src_rank, dst, seg, nid, queue, clock, serial)
+
+    def _find_put(self, src, dst, seg, notif_id) -> Optional[PutRecord]:
+        for rec in self.pending.get(dst, ()):
+            if (rec.src == src and rec.seg == seg
+                    and rec.notif_id == notif_id and rec.delivered):
+                return rec
+        return None
+
+    def _post_notif(self, src, dst, seg, nid, queue, clock, cover) -> None:
+        key = (dst, seg, nid)
+        prev = self.notif_table.get(key)
+        if prev is not None:
+            self.pipeline.add_finding(
+                "races", "lost-notification", SEV_ERROR, dst,
+                f"notification (seg {seg}, id {nid}) from rank {src} "
+                f"overwrote an unconsumed notification from rank {prev.src} "
+                f"delivered at t={prev.deliver_t:.6g}s",
+                seg=seg, notif_id=nid, src=src, prev_src=prev.src)
+        self.notif_table[key] = NotifRecord(src, dst, seg, nid, queue, clock,
+                                            cover, self.pipeline._now())
+
+    def on_remote_read(self, dst, msg) -> None:
+        """A ``read_req`` serviced at the target: the *requester* reads the
+        target's range at service time."""
+        self._check_read(msg.src_rank, dst, msg.meta["remote_seg"],
+                         msg.meta["remote_off"], msg.meta["count"],
+                         site="read service")
+
+    def on_read_resp(self, rank, seg_id, offset, count) -> None:
+        """The NIC writes a ``gaspi_read`` result into the local segment."""
+        self._check_write(rank, None, rank, seg_id, offset, count,
+                          site="read completion buffer")
+
+    # ------------------------------------------------------------------
+    # consumption side
+    # ------------------------------------------------------------------
+    def on_consume(self, dst, seg_id, notif_id, value) -> None:
+        self._tick(dst)
+        rec = self.notif_table.pop((dst, seg_id, notif_id), None)
+        if rec is None:
+            return  # posted before the pipeline attached; nothing tracked
+        self.stats_consumes += 1
+        if rec.clock:
+            self._join(dst, rec.clock)
+        pend = self.pending.get(dst)
+        if pend:
+            self.pending[dst] = [
+                p for p in pend
+                if not (p.src == rec.src and p.queue == rec.queue
+                        and p.serial <= rec.cover)
+            ]
+
+    # ------------------------------------------------------------------
+    # access checks
+    # ------------------------------------------------------------------
+    def on_local_access(self, rank, seg_id, offset, count, mode) -> None:
+        self._tick(rank)
+        if mode == "read":
+            self._check_read(rank, rank, seg_id, offset, count,
+                             site="local access")
+        else:
+            self._check_write(rank, None, rank, seg_id, offset, count,
+                              site="local write")
+
+    def _check_read(self, reader, target, seg, off, count, site) -> None:
+        self.stats_reads_checked += 1
+        for p in self.pending.get(target, ()):
+            if p.overlaps(seg, off, count) and not self._ordered_after(reader, p):
+                self.pipeline.add_finding(
+                    "races", "wr-race", SEV_ERROR, reader,
+                    f"{site} reads rank {target} {p.range_str()} "
+                    f"concurrently with an unsynchronized {p.op} from rank "
+                    f"{p.src} (queue {p.queue}, submitted at "
+                    f"t={p.submit_t:.6g}s, "
+                    f"{'delivered' if p.delivered else 'in flight'}); no "
+                    f"notification-consume, request_wait, or task-dependency "
+                    f"edge orders them",
+                    seg=seg, off=p.off, count=p.count, put_src=p.src,
+                    queue=p.queue)
+
+    def _check_write(self, writer, queue, target, seg, off, count,
+                     site) -> None:
+        for p in self.pending.get(target, ()):
+            if not p.overlaps(seg, off, count):
+                continue
+            if p.src == writer and queue is not None and p.queue == queue:
+                self.pipeline.add_finding(
+                    "races", "lost-update", SEV_ERROR, writer,
+                    f"{site} overwrites rank {target} {p.range_str()} while "
+                    f"the previous {p.op} on the same channel (queue "
+                    f"{queue}) is still unconsumed — its data can never be "
+                    f"observed",
+                    seg=seg, off=p.off, count=p.count, queue=p.queue)
+            elif p.src == writer:
+                # own earlier put on a *different* queue: program order does
+                # not order remote completion across queues, and the
+                # writer's clock trivially dominates its own epochs — flag
+                # unconditionally rather than consult the vector clock
+                self.pipeline.add_finding(
+                    "races", "ww-race", SEV_ERROR, writer,
+                    f"{site} to rank {target} {p.range_str()} races the "
+                    f"same rank's unconsumed {p.op} on queue {p.queue}: "
+                    f"GASPI orders writes only on the same (source, target, "
+                    f"queue) channel",
+                    seg=seg, off=p.off, count=p.count, put_src=p.src,
+                    queue=p.queue)
+            elif not self._ordered_after(writer, p):
+                self.pipeline.add_finding(
+                    "races", "ww-race", SEV_ERROR, writer,
+                    f"{site} to rank {target} {p.range_str()} races an "
+                    f"unsynchronized {p.op} from rank {p.src} on queue "
+                    f"{p.queue}: GASPI orders writes only on the same "
+                    f"(source, target, queue) channel",
+                    seg=seg, off=p.off, count=p.count, put_src=p.src,
+                    queue=p.queue)

@@ -1,6 +1,6 @@
 """The pinned microbenchmark suite behind ``python -m repro.bench``.
 
-Five benchmarks, each emitting one ``BENCH_<name>.json``:
+Six benchmarks, each emitting one ``BENCH_<name>.json``:
 
 ``engine``
     Events/sec through :meth:`Engine.run` on three workloads, against the
@@ -42,6 +42,15 @@ Five benchmarks, each emitting one ``BENCH_<name>.json``:
     multi-process wall time (identical results asserted) plus a cold/warm
     result-cache pass (warm re-run executes zero jobs). ``--workers``
     selects the pool size.
+
+``analysis``
+    The correctness-checker cost model (docs/analysis.md): one tagaspi
+    Gauss–Seidel point with checking off vs ``check="report"`` vs
+    ``check="strict"`` (asserting identical simulated time — the
+    bit-identity contract — and zero findings), plus the wall time of the
+    static determinism lint over ``src/``. The ``overhead_report`` ratio
+    is the number to watch; the unchecked run doubles as the
+    zero-cost-when-disabled regression guard against ``gs`` history.
 
 Methodology, applied uniformly: all object construction happens *outside*
 the timed region; every timed region is repeated ``reps`` times and the
@@ -411,5 +420,120 @@ def bench_sweep(quick: bool = False, workers: int = 2) -> dict:
         "cache_speedup": serial_wall / warm_wall,
         "cold_cache": cold_stats,
         "warm_cache": warm_stats,
+        "quick": quick,
+    }
+
+
+# ----------------------------------------------------------------------
+# analysis (correctness-checker overhead, repro.analysis)
+# ----------------------------------------------------------------------
+@_register
+def bench_analysis(quick: bool = False) -> dict:
+    """The cost of the correctness-analysis subsystem on a real job.
+
+    Times the same Gauss–Seidel tagaspi point (the variant exercising
+    every hook family: GASPI submissions, notifications, tasks, messages)
+    with checking off, ``check="report"``, and ``check="strict"``,
+    min-of-``reps`` each. Asserts the bit-identity contract on the fly:
+    every mode must produce the *same simulated time*, and the strict run
+    must carry zero error findings. Also times the static determinism
+    lint over ``src/`` (the CI gate's other half)."""
+    from repro.analysis.lint import lint_paths
+    from repro.apps.gauss_seidel.common import GSParams
+    from repro.apps.gauss_seidel.variants import make_storages, tagaspi_main
+    from repro.harness.machines import MARENOSTRUM4
+    from repro.harness.runner import JobSpec, build_job
+
+    if quick:
+        machine = MARENOSTRUM4.with_cores(2)
+        params = GSParams(rows=64, cols=256, timesteps=3, block_size=32,
+                          compute_data=False)
+        n_nodes, reps = 2, 2
+    else:
+        machine = MARENOSTRUM4.with_cores(4)
+        params = GSParams(rows=128, cols=1024, timesteps=6, block_size=64,
+                          compute_data=False)
+        n_nodes, reps = 2, 3
+
+    from repro.analysis import AnalysisPipeline
+
+    sim_times: Dict[str, float] = {}
+    events: Dict[str, int] = {}
+
+    def attach(job, **checkers):
+        """Manual pipeline attachment (mirrors Job.__init__) so single
+        checkers can be costed in isolation."""
+        pl = AnalysisPipeline(**checkers)
+        pl.install(job.engine)
+        pl.attach_cluster(job.cluster)
+        if job.gaspi is not None:
+            pl.attach_gaspi(job.gaspi)
+        for t in job.tagaspi:
+            pl.attach_tagaspi(t)
+        for rt in job.runtimes:
+            pl.attach_runtime(rt)
+        return pl
+
+    def point(label, check=None, checkers=None):
+        def build():
+            spec = JobSpec(machine=machine, n_nodes=n_nodes,
+                           variant="tagaspi", check=check)
+            job = build_job(spec)
+            if checkers is not None:
+                job.analysis = attach(job, **checkers)
+            procs = [tagaspi_main(job, params, st)
+                     for st in make_storages(job, params)]
+            return job, procs
+
+        def run(subject):
+            job, procs = subject
+            sim_times[label] = job.run(procs)
+            events[label] = job.engine.event_count
+            if job.analysis is not None:
+                assert not job.analysis.findings, job.analysis.report()
+
+        return _best_of(reps, build, run)
+
+    wall_off = point("off")
+    wall_report = point("report", check="report")
+    wall_strict = point("strict", check="strict")
+    per_checker = {
+        name: point(name, checkers={
+            "races": name == "races",
+            "deadlock": name == "deadlock",
+            "resources": name == "resources",
+        })
+        for name in ("races", "deadlock", "resources")
+    }
+    assert len(set(sim_times.values())) == 1, (
+        f"checked runs perturbed the simulation: {sim_times}")
+
+    t0 = time.perf_counter()
+    lint_findings = lint_paths(["src"])
+    lint_wall = time.perf_counter() - t0
+    assert not lint_findings, "\n".join(str(f) for f in lint_findings)
+
+    return {
+        "name": "analysis",
+        "unit": "events/s",
+        "variant": "tagaspi",
+        "n_nodes": n_nodes,
+        "rows": params.rows,
+        "cols": params.cols,
+        "timesteps": params.timesteps,
+        "events_fired": events["off"],
+        "sim_time_s": sim_times["off"],
+        "wall_off_s": wall_off,
+        "wall_report_s": wall_report,
+        "wall_strict_s": wall_strict,
+        "wall_s": wall_report,
+        "throughput": events["off"] / wall_off,
+        "checked_throughput": events["report"] / wall_report,
+        "overhead_report": wall_report / wall_off,
+        "overhead_strict": wall_strict / wall_off,
+        "per_checker_wall_s": per_checker,
+        "per_checker_overhead": {k: v / wall_off
+                                 for k, v in per_checker.items()},
+        "lint_wall_s": lint_wall,
         "quick": quick,
     }

@@ -11,6 +11,8 @@ for the Boost intrusive list (no per-node allocation).
 
 from __future__ import annotations
 
+import itertools
+
 from typing import List, Optional
 
 from repro.sim.context import charge_current
@@ -19,12 +21,16 @@ from repro.sim.engine import Engine
 #: pool fast-path cost (pop from the free queue)
 ACQUIRE_COST = 0.02e-6
 
+#: per-assignment serials: pooled objects are *recycled*, so ``id()`` is
+#: genuinely ambiguous across waits — every assign() gets a fresh identity
+_notif_serials = itertools.count()
+
 
 class PendingNotification:
     """State of one in-flight ``tagaspi_notify_iwait``."""
 
     __slots__ = ("seg_id", "notif_id", "out", "task", "is_pre",
-                 "registered_at")
+                 "registered_at", "serial")
 
     def __init__(self) -> None:
         self.seg_id = -1
@@ -34,6 +40,8 @@ class PendingNotification:
         self.is_pre = False
         #: registration time, used by the recovery policy's deadline check
         self.registered_at = 0.0
+        #: monotonic identity of the current assignment (never reused)
+        self.serial = -1
 
     def assign(self, seg_id: int, notif_id: int, out, task, is_pre: bool,
                registered_at: float = 0.0) -> "PendingNotification":
@@ -43,6 +51,7 @@ class PendingNotification:
         self.task = task
         self.is_pre = is_pre
         self.registered_at = registered_at
+        self.serial = next(_notif_serials)
         return self
 
     def clear(self) -> None:

@@ -381,9 +381,9 @@ class TAGASPI:
         if not expired:
             return
         tr = self.runtime.engine.tracer
-        gone = set(map(id, expired))
+        gone = {o.serial for o in expired}
         self._pending_notifs = [o for o in self._pending_notifs
-                                if id(o) not in gone]
+                                if o.serial not in gone]
         if policy.on_exhaustion == "abort":
             # The expired waits are dropped *before* raising so a caller
             # that catches the abort and keeps polling does not re-abort

@@ -108,6 +108,24 @@ class GaspiRank:
         except KeyError:
             raise GaspiError(f"rank {self.rank} has no segment {seg_id}") from None
 
+    def segment_access(self, seg_id: int, offset: int, count: int,
+                       mode: str = "read") -> None:
+        """Declare a local compute access to ``[offset, offset+count)`` of
+        the local segment for the RMA race detector (no-op when analysis is
+        disabled, zero simulation cost always).
+
+        Applications call this where real code would touch segment memory
+        directly — e.g. before consuming received halo bytes — so the
+        race detector can order local reads/writes against remote put/get
+        traffic. ``mode`` is ``"read"`` or ``"write"``.
+        """
+        if mode not in ("read", "write"):
+            raise GaspiError(f"bad access mode {mode!r}")
+        self.segment(seg_id)  # validate the id even when disabled
+        an = self.engine.analysis
+        if an.enabled:
+            an.on_local_access(self.rank, seg_id, offset, count, mode)
+
     # ------------------------------------------------------------------
     # the §IV-C extension: tagged submission + fine-grained completion
     # ------------------------------------------------------------------
@@ -205,6 +223,13 @@ class GaspiRank:
         else:  # pragma: no cover - low_level_requests already validated
             raise GaspiError(f"unknown operation {operation!r}")
 
+        an = self.engine.analysis
+        if an.enabled:
+            an.on_gaspi_submit(
+                self.rank, operation, queue, local_seg=local_seg,
+                local_off=local_off, dest=dest, remote_seg=remote_seg,
+                remote_off=remote_off, count=count, notif_id=notif_id,
+                reqs=reqs)
         tr = self.engine.tracer
         if tr.enabled:
             # submit span: API entry -> queue-device grant (lock contention
@@ -243,19 +268,26 @@ class GaspiRank:
                                timeout: float) -> Generator:
         eng = self.engine
         deadline = eng.now + timeout
-        while True:
-            done = q.harvest(max_reqs, eng.now)
-            if done:
-                charge_current(eng, self._c_rw_base + self._c_rw_per * len(done))
-                return done
-            charge_current(eng, self._c_rw_base)
-            if eng.now >= deadline:
-                raise self._timeout_error("request_wait", timeout, queue=queue,
-                                          pending=len(q.inflight))
-            pending = [r.done_at for r in q.inflight if r.done_at != float("inf")]
-            wake = min(pending) if pending else eng.now + self._poll_backoff()
-            wake = min(wake, deadline)
-            yield eng.timeout(max(wake - eng.now, 0.0))
+        an = eng.analysis
+        token = an.wait_enter(self.rank, "request_wait",
+                              queue=queue) if an.enabled else None
+        try:
+            while True:
+                done = q.harvest(max_reqs, eng.now)
+                if done:
+                    charge_current(eng, self._c_rw_base + self._c_rw_per * len(done))
+                    return done
+                charge_current(eng, self._c_rw_base)
+                if eng.now >= deadline:
+                    raise self._timeout_error("request_wait", timeout, queue=queue,
+                                              pending=len(q.inflight))
+                pending = [r.done_at for r in q.inflight if r.done_at != float("inf")]
+                wake = min(pending) if pending else eng.now + self._poll_backoff()
+                wake = min(wake, deadline)
+                yield eng.timeout(max(wake - eng.now, 0.0))
+        finally:
+            if an.enabled:
+                an.wait_exit(token)
 
     # ------------------------------------------------------------------
     # standard-style convenience wrappers
@@ -298,7 +330,12 @@ class GaspiRank:
     def notify_test(self, seg_id: int, notif_id: int) -> Optional[int]:
         """Non-blocking read-and-reset of one notification; None if not
         arrived. The primitive TAGASPI's poller is built on."""
-        return self.segment(seg_id).consume(notif_id)
+        val = self.segment(seg_id).consume(notif_id)
+        if val is not None:
+            an = self.engine.analysis
+            if an.enabled:
+                an.on_notify_consumed(self.rank, seg_id, notif_id, val)
+        return val
 
     def notify_waitsome(self, seg_id: int, begin: int, count: int,
                         timeout: float = GASPI_BLOCK) -> Generator:
@@ -314,16 +351,26 @@ class GaspiRank:
             raise GaspiError(f"negative timeout {timeout}")
         seg = self.segment(seg_id)
         deadline = self.engine.now + timeout
-        while True:
-            hit = seg.consume_any(begin, count)
-            if hit is not None:
-                return hit
-            now = self.engine.now
-            if now >= deadline:
-                raise self._timeout_error("notify_waitsome", timeout,
-                                          seg=seg_id, pending=count)
-            yield self.engine.timeout(
-                min(self._poll_backoff(), deadline - now))
+        an = self.engine.analysis
+        token = an.wait_enter(self.rank, "notify_waitsome", seg=seg_id,
+                              begin=begin, count=count) if an.enabled else None
+        try:
+            while True:
+                hit = seg.consume_any(begin, count)
+                if hit is not None:
+                    if an.enabled:
+                        an.on_notify_consumed(self.rank, seg_id, hit[0],
+                                              hit[1])
+                    return hit
+                now = self.engine.now
+                if now >= deadline:
+                    raise self._timeout_error("notify_waitsome", timeout,
+                                              seg=seg_id, pending=count)
+                yield self.engine.timeout(
+                    min(self._poll_backoff(), deadline - now))
+        finally:
+            if an.enabled:
+                an.wait_exit(token)
 
     def wait(self, queue: int, timeout: float = GASPI_BLOCK) -> Generator:
         """Legacy coarse-grained gaspi_wait: block until *all* operations
@@ -335,21 +382,28 @@ class GaspiRank:
             raise GaspiError(f"negative timeout {timeout}")
         q = self._queue(queue, op="wait")
         deadline = self.engine.now + timeout
-        while True:
-            q.harvest(len(q.inflight), self.engine.now)
-            if not q.inflight:
-                return GASPI_SUCCESS
-            now = self.engine.now
-            if now >= deadline:
-                raise self._timeout_error("wait", timeout, queue=queue,
-                                          pending=len(q.inflight))
-            pending = [r.done_at for r in q.inflight if r.done_at != float("inf")]
-            if pending:
-                wake = min(min(pending), deadline)
-                yield self.engine.timeout(max(wake - now, 0.0))
-            else:
-                yield self.engine.timeout(
-                    min(self._poll_backoff(), deadline - now))
+        an = self.engine.analysis
+        token = an.wait_enter(self.rank, "gaspi_wait",
+                              queue=queue) if an.enabled else None
+        try:
+            while True:
+                q.harvest(len(q.inflight), self.engine.now)
+                if not q.inflight:
+                    return GASPI_SUCCESS
+                now = self.engine.now
+                if now >= deadline:
+                    raise self._timeout_error("wait", timeout, queue=queue,
+                                              pending=len(q.inflight))
+                pending = [r.done_at for r in q.inflight if r.done_at != float("inf")]
+                if pending:
+                    wake = min(min(pending), deadline)
+                    yield self.engine.timeout(max(wake - now, 0.0))
+                else:
+                    yield self.engine.timeout(
+                        min(self._poll_backoff(), deadline - now))
+        finally:
+            if an.enabled:
+                an.wait_exit(token)
 
     # ------------------------------------------------------------------
     # failure handling: health vector and queue purge (recovery support)
@@ -402,12 +456,12 @@ class GaspiRank:
         if not removed:
             return 0
         charge_current(self.engine, self._c_op)
-        dropped_ids = {id(r) for r in removed}
+        dropped = {r.serial for r in removed}
         # forget read waiters whose request was purged: a late read_resp
         # must not overwrite the re-submitted read's buffer
         self._read_waiters = {
             op_id: entry for op_id, entry in self._read_waiters.items()
-            if id(entry[0]) not in dropped_ids
+            if entry[0].serial not in dropped
         }
         for r in removed:
             if r.dest is not None:
@@ -429,6 +483,7 @@ class GaspiRank:
     # ------------------------------------------------------------------
     def _handle(self, msg: Message) -> None:
         kind = msg.kind
+        an = self.engine.analysis
         if kind in (GASPI_OP_WRITE, GASPI_OP_WRITE_NOTIFY):
             seg = self.segment(msg.meta["remote_seg"])
             dst = seg.view(msg.meta["remote_off"], msg.payload.size)
@@ -437,11 +492,17 @@ class GaspiRank:
                 # data first, then the notification — same instant, so no
                 # observer can see the notification before the data
                 seg.post_notification(msg.meta["notif_id"], msg.meta["notif_val"])
+            if an.enabled:
+                an.on_put_delivered(self.rank, msg)
         elif kind == GASPI_OP_NOTIFY:
             self.segment(msg.meta["remote_seg"]).post_notification(
                 msg.meta["notif_id"], msg.meta["notif_val"]
             )
+            if an.enabled:
+                an.on_notify_delivered(self.rank, msg)
         elif kind == "read_req":
+            if an.enabled:
+                an.on_remote_read(self.rank, msg)
             src = self.segment(msg.meta["remote_seg"]).view(
                 msg.meta["remote_off"], msg.meta["count"]
             )
@@ -465,6 +526,8 @@ class GaspiRank:
                     f"{msg.meta['op_id']}"
                 )
             req, seg_id, off, count = entry
+            if an.enabled:
+                an.on_read_resp(self.rank, seg_id, off, count)
             self.segment(seg_id).view(off, count)[:] = msg.payload
             req.done_at = self.engine.now
         else:  # pragma: no cover - defensive

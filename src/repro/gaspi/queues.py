@@ -16,11 +16,18 @@ needed, which keeps polling cheap in the DES.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+
+from dataclasses import dataclass, field
 from typing import List
 
 from repro.sim.engine import Engine
 from repro.sim.serial import SerialDevice
+
+#: process-wide monotonic request serials: a stable identity for targeted
+#: purge (``id()`` would do the same job only until the allocator reuses a
+#: freed request's address)
+_request_serials = itertools.count()
 
 
 @dataclass
@@ -36,6 +43,8 @@ class LowLevelRequest:
     submitted_at: float = 0.0
     #: destination rank (recovery diagnostics / connection health)
     dest: "int | None" = None
+    #: monotonic identity (never reused, unlike ``id()``)
+    serial: int = field(default_factory=_request_serials.__next__)
 
 
 class GaspiQueue:
@@ -83,10 +92,10 @@ class GaspiQueue:
         """Abandon a specific set of requests (by identity) — the targeted
         purge TAGASPI's recovery uses to re-submit one timed-out operation
         without disturbing the rest of the queue."""
-        targets = {id(r) for r in reqs}
-        removed = [r for r in self.inflight if id(r) in targets]
+        targets = {r.serial for r in reqs}
+        removed = [r for r in self.inflight if r.serial in targets]
         if removed:
-            self.inflight = [r for r in self.inflight if id(r) not in targets]
+            self.inflight = [r for r in self.inflight if r.serial not in targets]
             self.purged += len(removed)
         return removed
 

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis.pipeline import AnalysisPipeline
 from repro.core import TAGASPI
 from repro.faults import FaultInjector, FaultPlan, FaultReport
 from repro.gaspi import GaspiContext
@@ -60,10 +61,19 @@ class JobSpec:
     #: fault scenario (repro.faults); None or an empty plan leaves the
     #: simulation bit-identical to a fault-free run
     faults: Optional[FaultPlan] = None
+    #: correctness analysis (repro.analysis): None disables every checker
+    #: (zero-cost); "report" runs them and keeps findings on
+    #: ``job.analysis``; "strict" additionally raises
+    #: :class:`repro.analysis.AnalysisError` on any error-severity finding.
+    #: Checked runs are bit-identical to unchecked ones.
+    check: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
             raise VariantError(f"variant must be one of {VARIANTS}, got {self.variant!r}")
+        if self.check not in (None, "report", "strict"):
+            raise VariantError(
+                f"check must be None, 'report', or 'strict', got {self.check!r}")
         if self.n_nodes < 1:
             raise VariantError("n_nodes must be >= 1")
         if self.variant == "mpi":
@@ -161,6 +171,21 @@ class Job:
                           recovery=recovery)
                     for r in range(spec.n_ranks)
                 ]
+
+        #: correctness-checker pipeline (spec.check != None); findings are
+        #: on ``analysis.findings`` / ``analysis.warnings`` after run()
+        self.analysis: Optional[AnalysisPipeline] = None
+        if spec.check is not None:
+            pl = AnalysisPipeline(strict=(spec.check == "strict"))
+            pl.install(self.engine)
+            pl.attach_cluster(self.cluster)
+            if self.gaspi is not None:
+                pl.attach_gaspi(self.gaspi)
+            for t in self.tagaspi:
+                pl.attach_tagaspi(t)
+            for rt in self.runtimes:
+                pl.attach_runtime(rt)
+            self.analysis = pl
 
         #: per-layer counter registry, swept into :attr:`metrics` by run()
         self.registry = MetricsRegistry()
@@ -308,7 +333,13 @@ class Job:
         while live[0] > 0:
             if eng.peek() == float("inf"):
                 alive = [p.name for p in pending if not p.triggered]
-                raise SimulationError(f"job deadlocked; still alive: {alive}")
+                msg = f"job deadlocked; still alive: {alive}"
+                an = eng.analysis
+                if an.enabled:
+                    report = an.deadlock_report()
+                    if report:
+                        msg += "\n" + report
+                raise SimulationError(msg)
             if max_events is not None and fired >= max_events:
                 raise eng.budget_error(max_events)
             eng.step()
@@ -317,6 +348,9 @@ class Job:
             if p.ok is False:
                 raise p.value
         self.collect_metrics()
+        if self.analysis is not None:
+            # resource lint + strict-mode gate (AnalysisError on errors)
+            self.analysis.finalize()
         return eng.now
 
 

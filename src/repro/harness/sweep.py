@@ -30,6 +30,7 @@ def run_variants(
     params,
     variants: Sequence[str] = VARIANTS,
     faults: Optional[Mapping[str, Optional[FaultPlan]]] = None,
+    check: Optional[str] = None,
     seed: Optional[int] = 1,
     workers: int = 1,
     cache: Union[ResultCache, str, None] = None,
@@ -51,6 +52,13 @@ def run_variants(
     faults:
         Ordered mapping of label -> :class:`FaultPlan` (or ``None`` for the
         fault-free point). Omitted ⇒ a single ``"none"`` point per variant.
+    check:
+        Correctness-analysis mode for every point (the
+        :attr:`JobSpec.check` axis): ``None`` (off, default), ``"report"``,
+        or ``"strict"`` — strict points raise
+        :class:`repro.analysis.AnalysisError` on any error finding.
+        Checked runs are bit-identical to unchecked ones, so cached
+        results remain valid per (spec, params) key.
     workers:
         Shard the grid's points across this many processes (``1`` =
         serial). Results are merged in deterministic (variant, label)
@@ -83,7 +91,7 @@ def run_variants(
         p = params(variant) if callable(params) else params
         for label, plan in plans.items():
             spec = JobSpec(machine=machine, n_nodes=n_nodes, variant=variant,
-                           seed=seed, faults=plan, **spec_kwargs)
+                           seed=seed, faults=plan, check=check, **spec_kwargs)
             points.append(SweepPoint(run_fn, spec, p, label=(variant, label)))
             index.append((variant, label))
     if executor is None:

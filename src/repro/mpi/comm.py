@@ -118,6 +118,9 @@ class MPIRank:
         nbytes = buffer_nbytes(buf)
         req = Request(self.engine, "send", self.rank, dest, tag, buf, nbytes)
         self.stats_isends += 1
+        an = self.engine.analysis
+        if an.enabled:
+            an.on_mpi_request(req)
         grant = self.lock.enter(self._c_call, "isend")
         depart = grant.end - self.engine.now
         if nbytes <= self._eager_max:
@@ -192,6 +195,9 @@ class MPIRank:
         nbytes = buffer_nbytes(buf)
         req = Request(self.engine, "recv", self.rank, source, tag, buf, nbytes)
         self.stats_irecvs += 1
+        an = self.engine.analysis
+        if an.enabled:
+            an.on_mpi_request(req)
         grant = self.lock.enter(self._c_call, "irecv")
         msg = self.matching.post_recv(req)
         if msg is not None:
@@ -260,14 +266,31 @@ class MPIRank:
         """MPI_Wait: suspend the calling process until completion."""
         self.lock.enter(self._c_call, "wait")
         if not req.done:
-            yield req.event
+            an = self.engine.analysis
+            token = an.wait_enter(self.rank, "mpi_wait", peer=req.peer,
+                                  tag=req.tag,
+                                  kind=req.kind) if an.enabled else None
+            try:
+                yield req.event
+            finally:
+                if an.enabled:
+                    an.wait_exit(token)
 
     def waitall(self, reqs: Sequence[Request]) -> Generator:
         """MPI_Waitall over a request list."""
         self.lock.enter(self._c_call, "waitall")
-        pending = [r.event for r in reqs if not r.done]
-        if pending:
-            yield self.engine.all_of(pending)
+        still = [r for r in reqs if not r.done]
+        if still:
+            an = self.engine.analysis
+            tokens = [an.wait_enter(self.rank, "mpi_waitall", peer=r.peer,
+                                    tag=r.tag, kind=r.kind)
+                      for r in still] if an.enabled else []
+            try:
+                yield self.engine.all_of([r.event for r in still])
+            finally:
+                if an.enabled:
+                    for token in tokens:
+                        an.wait_exit(token)
 
     # ------------------------------------------------------------------
     # collectives (generator-shaped, built on point-to-point)

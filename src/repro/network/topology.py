@@ -159,6 +159,9 @@ class Cluster:
         eng = self.engine
         now = eng.now + depart_delay
         msg.injected_at = now
+        an = eng.analysis
+        if an.enabled:
+            an.on_msg_send(msg)
         src_node = self.node_of(msg.src_rank)
         dst_node = self.node_of(msg.dst_rank)
         intra = src_node == dst_node
@@ -219,6 +222,9 @@ class Cluster:
 
     def _deliver(self, msg: Message) -> None:
         msg.delivered_at = self.engine.now
+        an = self.engine.analysis
+        if an.enabled:
+            an.on_msg_deliver(msg)
         handler = self._endpoints.get((msg.dst_rank, msg.protocol))
         if handler is None:
             raise SimulationError(

@@ -38,6 +38,7 @@ from collections import deque
 from heapq import heappop, heappush
 from typing import Callable, Iterable, Optional, TYPE_CHECKING
 
+from repro.analysis.pipeline import NULL_ANALYSIS
 from repro.trace.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -89,6 +90,7 @@ class Engine:
         "_event_count",
         "_cancelled",
         "tracer",
+        "analysis",
         "_progress_t0",
         "current_context",
     )
@@ -110,6 +112,10 @@ class Engine:
         self._cancelled = 0
         #: tracing sink read by every instrumented layer via ``engine.tracer``
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        #: correctness-checker pipeline read by the instrumented layers via
+        #: ``engine.analysis`` (see :mod:`repro.analysis`); the shared null
+        #: pipeline keeps the disabled path to one attribute read + branch
+        self.analysis = NULL_ANALYSIS
         self._progress_t0 = 0.0
         #: CPU-charge sink of the code currently executing (see
         #: :mod:`repro.sim.context`); managed by executors, read by substrates.
@@ -270,12 +276,21 @@ class Engine:
         """The event-budget-exhausted error, including how many events are
         still queued but unfired — a drained-vs-live queue distinguishes a
         genuine deadlock from a model that is simply still making progress.
-        Lazily-cancelled corpses are excluded from the count."""
-        return SimulationError(
+        Lazily-cancelled corpses are excluded from the count. With the
+        analysis pipeline enabled, the wait-for diagnosis is appended so a
+        budget hit caused by a communication deadlock names the cycle
+        instead of just counting events."""
+        msg = (
             f"event budget exhausted ({max_events} events fired) at "
             f"t={self._now:.6g}s with {self.queue_depth} queued-but-unfired "
             f"events still pending"
         )
+        an = self.analysis
+        if an.enabled:
+            report = an.deadlock_report()
+            if report:
+                msg += "\n" + report
+        return SimulationError(msg)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None,
             trace_every: Optional[int] = None) -> float:
@@ -443,10 +458,16 @@ class Engine:
         fired = 0
         while not process.triggered:
             if self.peek() == _INF:
-                raise SimulationError(
+                msg = (
                     f"deadlock: event queue drained at t={self._now:.6g}s "
                     f"with process {process!r} still pending"
                 )
+                an = self.analysis
+                if an.enabled:
+                    report = an.deadlock_report()
+                    if report:
+                        msg += "\n" + report
+                raise SimulationError(msg)
             if max_events is not None and fired >= max_events:
                 raise self.budget_error(max_events)
             self.step()

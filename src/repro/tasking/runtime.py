@@ -118,6 +118,9 @@ class Runtime:
         charge_current(self.engine, cost)
         self.stats.tasks_created += 1
         self._outstanding += 1
+        an = self.engine.analysis
+        if an.enabled:
+            an.on_task_submit(task, self)
         added = self.deps.register(task)
         task.remaining_deps = added
         if added == 0:
@@ -160,7 +163,15 @@ class Runtime:
         if self._outstanding > 0:
             ev = Event(self.engine)
             self._taskwait_waiters.append(ev)
-            yield ev
+            an = self.engine.analysis
+            token = an.wait_enter(
+                self.name, "taskwait",
+                outstanding=self._outstanding) if an.enabled else None
+            try:
+                yield ev
+            finally:
+                if an.enabled:
+                    an.wait_exit(token)
 
     # ------------------------------------------------------------------
     # in-task services
@@ -217,6 +228,9 @@ class Runtime:
             raise TaskingError(f"{task!r} completed twice")
         task.state = TaskState.COMPLETED
         task.completed_at = self.engine.now
+        an = self.engine.analysis
+        if an.enabled:
+            an.on_task_complete(task, self)
         tr = self.engine.tracer
         if tr.enabled and task.completed_at > task.finished_at:
             # body returned but external events held completion (grey tasks

@@ -94,13 +94,13 @@ class TestFaultDeterminism:
     bit-identical to no plan at all."""
 
     @staticmethod
-    def _run_gs(faults, variant="tagaspi", seed=7):
+    def _run_gs(faults, variant="tagaspi", seed=7, check=None):
         from repro.apps.gauss_seidel import GSParams, run_gauss_seidel
 
         params = GSParams(rows=64, cols=64, timesteps=2, block_size=32)
         tracer = Tracer(progress_every=None)
         spec = JobSpec(machine=MACH4, n_nodes=2, variant=variant, seed=seed,
-                       faults=faults)
+                       faults=faults, check=check)
         res = run_gauss_seidel(spec, params, tracer=tracer)
         return res, tracer
 
@@ -132,6 +132,17 @@ class TestFaultDeterminism:
         b, tb = self._run_gs(FaultPlan(recovery=RecoveryPolicy(op_timeout=10.0)))
         assert a.sim_time == b.sim_time
         assert self._dump(ta) == self._dump(tb)
+
+    def test_analysis_checkers_are_bit_invisible(self):
+        """The correctness checkers are passive observers: a ``check=``
+        run must be bit-identical — results *and* trace — to an unchecked
+        one (the zero-perturbation contract of docs/analysis.md)."""
+        a, ta = self._run_gs(None)
+        for check in ("report", "strict"):
+            b, tb = self._run_gs(None, check=check)
+            assert a.sim_time == b.sim_time, check
+            assert a.extra == b.extra, check
+            assert self._dump(ta) == self._dump(tb), check
 
     def test_fault_seed_changes_injections_not_numerics(self):
         import numpy as np

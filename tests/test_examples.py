@@ -12,6 +12,8 @@ EXAMPLES = [
     "examples/stencil_dsl.py",
     "examples/amr_simulation.py",
     "examples/fault_sweep.py",
+    "examples/racy_put.py",
+    "examples/deadlock_cycle.py",
 ]
 
 

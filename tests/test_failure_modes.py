@@ -60,6 +60,29 @@ class TestJobFailures:
         with pytest.raises(SimulationError, match="budget"):
             job.run([proc], max_events=100)
 
+    def test_deadlock_error_names_cycle_when_checked(self):
+        """With the analysis pipeline enabled, a stalled job reports the
+        wait-for cycle, not just that it stalled."""
+        job = build_job(JobSpec(machine=MARENOSTRUM4, n_nodes=1,
+                                variant="mpi", check="report"))
+
+        def make(peer):
+            def stuck(drv):
+                buf = np.zeros(4)
+                # head-to-head: both ranks recv first, then (never) send
+                req = yield from drv.irecv(buf, peer, tag=1)
+                yield from drv.wait(req)
+                yield from drv.isend(np.ones(4), peer, tag=1)
+            return stuck
+
+        procs = [job.drivers[0].spawn(make(1)),
+                 job.drivers[1].spawn(make(0))]
+        with pytest.raises(SimulationError) as exc:
+            job.run(procs)
+        msg = str(exc.value)
+        assert "wait-for diagnosis" in msg
+        assert "deadlock cycle: rank0 -> rank1 -> rank0" in msg
+
     def test_app_exception_propagates_out_of_job(self):
         job = build_job(JobSpec(machine=MARENOSTRUM4, n_nodes=1, variant="tampi"))
 
