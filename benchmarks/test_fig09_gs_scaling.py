@@ -45,8 +45,10 @@ def _sweep():
     for n in NODES:
         params = _params(n)
         for v in VARIANTS:
+            # perf diagnosis (critical path, wait states, POP metrics) at
+            # the largest scale, where the variants separate
             spec = JobSpec(machine=MARENOSTRUM4, n_nodes=n, variant=v,
-                           poll_period_us=50)
+                           poll_period_us=50, perf=(n == NODES[-1]))
             points.append(SweepPoint(run_gauss_seidel_steady, spec, params[v],
                                      run_kwargs={"warm_steps": 8},
                                      label=(v, n)))
@@ -79,6 +81,26 @@ def test_fig09_gauss_seidel_strong_scaling(benchmark):
                 ("comm_time", "lock_wait_time", "messages", "notifications")]
          for v in VARIANTS],
     ))
+
+    # POP-style efficiency diagnosis at the largest scale (repro.perf):
+    # why each variant scales the way it does, not just how fast it is
+    emit(format_table(
+        f"Gauss-Seidel perf diagnosis at {last} nodes",
+        ["variant", "PE", "LB", "CommE", "SerE", "cp comm share",
+         "dominant wait"],
+        [[v] + [round(results[v][-1].extra[k], 3) for k in
+                ("perf_parallel_efficiency", "perf_load_balance",
+                 "perf_comm_efficiency", "perf_serialization_efficiency",
+                 "perf_cp_comm_share")]
+         + [results[v][-1].extra["perf_dominant_wait"]]
+         for v in VARIANTS],
+    ))
+    # the paper's core claim, in causal terms: taskifying communication
+    # takes it off the critical path
+    cp_comm = {v: results[v][-1].extra["perf_cp_comm_share"]
+               for v in VARIANTS}
+    assert cp_comm["tampi"] < cp_comm["mpi"], cp_comm
+    assert cp_comm["tagaspi"] < cp_comm["mpi"], cp_comm
 
     record_bench("fig09_gs_scaling", results, nodes=NODES)
 

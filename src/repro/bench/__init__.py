@@ -7,7 +7,22 @@ in-run baseline lives in :mod:`repro.bench.legacy`.
 """
 
 from repro.bench.cli import main
+from repro.bench.compare import (
+    append_history,
+    compare_against_dir,
+    compare_payloads,
+    history_record,
+)
 from repro.bench.record import write_bench_json
 from repro.bench.suites import bench_names, run_bench
 
-__all__ = ["main", "write_bench_json", "bench_names", "run_bench"]
+__all__ = [
+    "main",
+    "write_bench_json",
+    "bench_names",
+    "run_bench",
+    "compare_payloads",
+    "compare_against_dir",
+    "history_record",
+    "append_history",
+]

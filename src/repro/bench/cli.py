@@ -4,13 +4,28 @@ Each benchmark writes ``BENCH_<name>.json`` into ``--outdir`` (default:
 current directory) and prints a one-line summary. ``--quick`` shrinks
 problem sizes and repetitions to smoke-test level (seconds, used by the
 ``bench``-marked pytest smoke test); ``--only`` selects a subset.
+
+Every run also appends one compact line per benchmark to
+``BENCH_history.jsonl`` (``--history`` to relocate, ``--no-history`` to
+disable). With ``--compare`` the fresh results are diffed against the
+committed ``BENCH_<name>.json`` baselines in ``--baseline-dir`` and the
+process exits non-zero if any benchmark regressed past its threshold —
+this is the CI regression gate (see docs/performance.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from typing import List, Optional
 
+from repro.bench.compare import (
+    append_history,
+    calibrate,
+    compare_against_dir,
+    git_rev,
+    history_record,
+)
 from repro.bench.record import write_bench_json
 from repro.bench.suites import bench_names, run_bench
 
@@ -31,11 +46,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="process-pool size for the sweep benchmark "
                              "(default: 2)")
+    parser.add_argument("--compare", action="store_true",
+                        help="diff fresh results against committed baselines "
+                             "and exit 1 on regression")
+    parser.add_argument("--baseline-dir", default=".", metavar="DIR",
+                        help="directory holding baseline BENCH_<name>.json "
+                             "files for --compare (default: .)")
+    parser.add_argument("--threshold", type=float, default=None, metavar="F",
+                        help="override the per-suite regression threshold "
+                             "(fraction, e.g. 0.15)")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="history file (default: "
+                             "<outdir>/BENCH_history.jsonl)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append to the run history")
     args = parser.parse_args(argv)
 
     names = args.only or bench_names()
+    calib = calibrate()
+    rev = git_rev()
+    history_path = args.history or os.path.join(args.outdir,
+                                                "BENCH_history.jsonl")
+    payloads = []
     for name in names:
         payload = run_bench(name, quick=args.quick, workers=args.workers)
+        payload["calibration"] = calib
+        payloads.append(payload)
         path = write_bench_json(name, payload, args.outdir)
         summary = f"{name:9s} {payload['throughput']:12,.0f} {payload['unit']}"
         if "speedup" in payload:
@@ -43,4 +79,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         else "pre-overhaul baseline")
             summary += f"  ({payload['speedup']:.2f}x vs {baseline})"
         print(f"{summary}  -> {path}")
+        if not args.no_history:
+            append_history(history_path, history_record(payload, rev))
+
+    if not args.compare:
+        return 0
+    results = compare_against_dir(payloads, args.baseline_dir, args.threshold)
+    print(f"\nregression gate vs {args.baseline_dir}:")
+    for res in results:
+        print(f"  {res.line()}")
+    failed = [r for r in results if r.status == "regression"]
+    if failed:
+        print(f"FAILED: {len(failed)} benchmark(s) regressed past threshold")
+        return 1
     return 0

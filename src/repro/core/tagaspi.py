@@ -179,6 +179,16 @@ class TAGASPI:
         reqs = self.gaspi.operation_submit(op, tag, queue, **params)
         if rec is not None:
             rec.reqs = reqs
+        if task is not None and params.get("notif_id") is not None:
+            tr = self.runtime.engine.tracer
+            if tr.enabled:
+                # producer-side causal edge: which task posted which
+                # notification (repro.perf follows it across ranks)
+                tr.instant("tagaspi", "op_submit", self.runtime.engine.now,
+                           rank=self.gaspi.rank, uid=task.uid, op=op,
+                           dest=params.get("dest"),
+                           seg=params.get("remote_seg"),
+                           notif_id=params.get("notif_id"))
         self.work.notify_work(nreq)
         self.stats_ops += 1
 
@@ -203,7 +213,8 @@ class TAGASPI:
             tr = self.runtime.engine.tracer
             if tr.enabled:
                 tr.instant("tagaspi", "notify_immediate", self.runtime.engine.now,
-                           rank=self.gaspi.rank, seg=seg_id, notif_id=notif_id)
+                           rank=self.gaspi.rank, seg=seg_id, notif_id=notif_id,
+                           uid=task.uid)
             return
         task.add_event(1)
         obj = self.pool.acquire().assign(seg_id, notif_id, out, task,
@@ -251,14 +262,16 @@ class TAGASPI:
                     else:
                         task.fulfill_event(1)
                 if tr.enabled:
+                    uid = req.tag[0].uid if req.tag is not None else None
                     # submit -> local completion, plus the poller's
                     # detection delay (done_at -> this pass)
                     tr.span("tagaspi", f"{req.op}.inflight",
                             req.submitted_at, req.done_at,
-                            rank=self.gaspi.rank, queue=q)
+                            rank=self.gaspi.rank, queue=q, uid=uid)
                     if now > req.done_at:
                         tr.span("tagaspi", f"{req.op}.detect",
-                                req.done_at, now, rank=self.gaspi.rank, queue=q)
+                                req.done_at, now, rank=self.gaspi.rank,
+                                queue=q, uid=uid)
                 retired += 1
         # (2) drain freshly registered pending notifications, then test all
         fresh = self.mpsc.drain()
@@ -281,7 +294,8 @@ class TAGASPI:
                 if tr.enabled:
                     tr.instant("tagaspi", "notify_fulfilled", now,
                                rank=self.gaspi.rank, seg=obj.seg_id,
-                               notif_id=obj.notif_id)
+                               notif_id=obj.notif_id, uid=obj.task.uid,
+                               registered_at=obj.registered_at)
                 self.pool.release(obj)
                 retired += 1
             self._pending_notifs = still

@@ -492,12 +492,14 @@ class GaspiRank:
                 # data first, then the notification — same instant, so no
                 # observer can see the notification before the data
                 seg.post_notification(msg.meta["notif_id"], msg.meta["notif_val"])
+                self._trace_notify_arrival(msg)
             if an.enabled:
                 an.on_put_delivered(self.rank, msg)
         elif kind == GASPI_OP_NOTIFY:
             self.segment(msg.meta["remote_seg"]).post_notification(
                 msg.meta["notif_id"], msg.meta["notif_val"]
             )
+            self._trace_notify_arrival(msg)
             if an.enabled:
                 an.on_notify_delivered(self.rank, msg)
         elif kind == "read_req":
@@ -532,6 +534,17 @@ class GaspiRank:
             req.done_at = self.engine.now
         else:  # pragma: no cover - defensive
             raise GaspiError(f"unknown gaspi message kind {kind!r}")
+
+    def _trace_notify_arrival(self, msg: Message) -> None:
+        """Causal edge for late-notification analysis: the sim time the
+        notification became visible in the destination segment."""
+        tr = self.engine.tracer
+        if tr.enabled:
+            tr.instant("gaspi", "notify_arrival", self.engine.now,
+                       rank=self.rank, src=msg.src_rank,
+                       seg=msg.meta["remote_seg"],
+                       notif_id=msg.meta["notif_id"],
+                       sent_at=msg.injected_at)
 
     # ------------------------------------------------------------------
     def _queue(self, queue: int, op: Optional[str] = None) -> GaspiQueue:

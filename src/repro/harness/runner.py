@@ -67,6 +67,11 @@ class JobSpec:
     #: :class:`repro.analysis.AnalysisError` on any error-severity finding.
     #: Checked runs are bit-identical to unchecked ones.
     check: Optional[str] = None
+    #: post-mortem performance diagnosis (repro.perf): when True the app
+    #: runner traces the run (if no tracer was passed in) and merges the
+    #: ``perf_*`` metrics into ``VariantResult.extra``. Tracing is passive,
+    #: so a ``perf=True`` run is bit-identical in sim time to a plain one.
+    perf: bool = False
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:

@@ -31,6 +31,7 @@ def run_variants(
     variants: Sequence[str] = VARIANTS,
     faults: Optional[Mapping[str, Optional[FaultPlan]]] = None,
     check: Optional[str] = None,
+    perf: bool = False,
     seed: Optional[int] = 1,
     workers: int = 1,
     cache: Union[ResultCache, str, None] = None,
@@ -59,6 +60,12 @@ def run_variants(
         :class:`repro.analysis.AnalysisError` on any error finding.
         Checked runs are bit-identical to unchecked ones, so cached
         results remain valid per (spec, params) key.
+    perf:
+        When True every point runs with post-mortem performance diagnosis
+        (the :attr:`JobSpec.perf` axis): the run is traced and the
+        ``perf_*`` efficiency / critical-path / wait-state metrics of
+        :mod:`repro.perf` land in each result's ``extra``. Tracing is
+        passive, so sim times are bit-identical to ``perf=False`` runs.
     workers:
         Shard the grid's points across this many processes (``1`` =
         serial). Results are merged in deterministic (variant, label)
@@ -91,7 +98,8 @@ def run_variants(
         p = params(variant) if callable(params) else params
         for label, plan in plans.items():
             spec = JobSpec(machine=machine, n_nodes=n_nodes, variant=variant,
-                           seed=seed, faults=plan, check=check, **spec_kwargs)
+                           seed=seed, faults=plan, check=check, perf=perf,
+                           **spec_kwargs)
             points.append(SweepPoint(run_fn, spec, p, label=(variant, label)))
             index.append((variant, label))
     if executor is None:

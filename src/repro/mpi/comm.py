@@ -206,6 +206,7 @@ class MPIRank:
 
     def _satisfy_recv(self, req: Request, msg: Message, at: float) -> None:
         """Complete a receive from an unexpected-queue message."""
+        req.sent_at = msg.injected_at
         if msg.kind == "eager":
             copy_into(req.buf, msg.payload)
             copy_cost = 0.0
@@ -270,11 +271,17 @@ class MPIRank:
             token = an.wait_enter(self.rank, "mpi_wait", peer=req.peer,
                                   tag=req.tag,
                                   kind=req.kind) if an.enabled else None
+            t0 = self.engine.now
             try:
                 yield req.event
             finally:
                 if an.enabled:
                     an.wait_exit(token)
+                tr = self.engine.tracer
+                if tr.enabled:
+                    tr.span("mpi", "wait.block", t0, self.engine.now,
+                            rank=self.rank, kind=req.kind, peer=req.peer,
+                            tag=req.tag, sent_at=req.sent_at)
 
     def waitall(self, reqs: Sequence[Request]) -> Generator:
         """MPI_Waitall over a request list."""
@@ -285,12 +292,23 @@ class MPIRank:
             tokens = [an.wait_enter(self.rank, "mpi_waitall", peer=r.peer,
                                     tag=r.tag, kind=r.kind)
                       for r in still] if an.enabled else []
+            t0 = self.engine.now
             try:
                 yield self.engine.all_of([r.event for r in still])
             finally:
                 if an.enabled:
                     for token in tokens:
                         an.wait_exit(token)
+                tr = self.engine.tracer
+                if tr.enabled:
+                    now = self.engine.now
+                    for r in still:
+                        # per-request blocked interval, clamped to the call
+                        done = r.completed_at if r.completed_at is not None else now
+                        t1 = min(max(done, t0), now)
+                        tr.span("mpi", "waitall.block", t0, t1,
+                                rank=self.rank, kind=r.kind, peer=r.peer,
+                                tag=r.tag, sent_at=r.sent_at)
 
     # ------------------------------------------------------------------
     # collectives (generator-shaped, built on point-to-point)
@@ -407,6 +425,7 @@ class MPIRank:
             req = self.matching.incoming(msg)
             if req is None:
                 return  # buffered as unexpected
+            req.sent_at = msg.injected_at
             if msg.kind == "eager":
                 copy_into(req.buf, msg.payload)
                 req.complete_at(self.engine.now + self._c_match)
@@ -495,7 +514,14 @@ class MPIProcDriver:
         """Occupy this rank's (single) core for ``seconds``."""
         yield from self._realize()
         if seconds > 0.0:
+            t0 = self.engine.now
             yield self.engine.timeout(seconds)
+            tr = self.engine.tracer
+            if tr.enabled:
+                # useful-work span for the single-threaded MPI baselines
+                # (repro.perf derives per-rank efficiency from these)
+                tr.span("proc", "compute", t0, self.engine.now,
+                        rank=self.mpi.rank)
 
     def isend(self, buf, dest: int, tag: int) -> Generator:
         req = self.mpi.isend(buf, dest, tag)

@@ -46,6 +46,7 @@ class Request:
         "state",
         "event",
         "completed_at",
+        "sent_at",
         "_payload",
     )
 
@@ -72,6 +73,9 @@ class Request:
         self.state = RequestState.PENDING
         self.event = Event(engine)
         self.completed_at: Optional[float] = None
+        #: recv requests: sim time the matching message was injected at the
+        #: sender (wire-visible causality for late-sender analysis)
+        self.sent_at: Optional[float] = None
         #: eager sends stash their buffered copy here until matched
         self._payload: Optional[np.ndarray] = None
 

@@ -97,6 +97,11 @@ class Cluster:
         # duplicated-message bookkeeping for receiver-side NIC dedup
         self._dup_tracked: set = set()
         self._dup_seen: set = set()
+        # cluster-local edge ids for traced send->deliver causality; msg.uid
+        # is process-global (never exported), so the tracer gets its own
+        # deterministic counter plus a transient uid->eid map
+        self._next_edge_id = 0
+        self._edge_ids: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # placement
@@ -162,6 +167,20 @@ class Cluster:
         an = eng.analysis
         if an.enabled:
             an.on_msg_send(msg)
+        tr0 = eng.tracer
+        if tr0.enabled:
+            eid = self._next_edge_id
+            self._next_edge_id = eid + 1
+            self._edge_ids[msg.uid] = eid
+            meta = msg.meta or {}
+            extra = {}
+            if "tag" in meta:
+                extra["tag"] = meta["tag"]
+            if "notif_id" in meta:
+                extra["notif_id"] = meta["notif_id"]
+            tr0.instant("net", "msg_send", now, rank=msg.src_rank,
+                        dst=msg.dst_rank, protocol=msg.protocol,
+                        kind=msg.kind, nbytes=msg.nbytes, eid=eid, **extra)
         src_node = self.node_of(msg.src_rank)
         dst_node = self.node_of(msg.dst_rank)
         intra = src_node == dst_node
@@ -225,6 +244,13 @@ class Cluster:
         an = self.engine.analysis
         if an.enabled:
             an.on_msg_deliver(msg)
+        tr = self.engine.tracer
+        if tr.enabled:
+            eid = self._edge_ids.pop(msg.uid, None)
+            if eid is not None:
+                tr.instant("net", "msg_deliver", self.engine.now,
+                           rank=msg.dst_rank, src=msg.src_rank,
+                           protocol=msg.protocol, kind=msg.kind, eid=eid)
         handler = self._endpoints.get((msg.dst_rank, msg.protocol))
         if handler is None:
             raise SimulationError(

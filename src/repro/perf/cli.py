@@ -1,0 +1,80 @@
+"""CLI: ``python -m repro.perf trace.json``.
+
+Prints the performance diagnosis (critical-path attribution, per-rank wait
+states, POP efficiency metrics) of an exported Chrome trace; ``--export``
+re-writes the trace with the critical path appended as a highlighted
+process lane, so Perfetto shows the path alongside the per-rank timelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.perf.critical_path import CriticalPath
+from repro.perf.report import analyze_doc
+from repro.trace.exporters import load_chrome_trace
+
+
+def path_lane_events(doc: dict, path: CriticalPath) -> list:
+    """Chrome-trace events rendering ``path`` as its own process lane."""
+    pids = [ev.get("pid", 0) for ev in doc.get("traceEvents", [])
+            if isinstance(ev.get("pid", 0), int)]
+    pid = (max(pids) + 1) if pids else 0
+    events = [
+        {"ph": "M", "name": "process_name", "pid": pid,
+         "args": {"name": "critical path"}},
+        {"ph": "M", "name": "thread_name", "pid": pid, "tid": 0,
+         "args": {"name": "path"}},
+    ]
+    for seg in path.segments:
+        events.append({
+            "ph": "X", "cat": "perf", "name": f"cp.{seg.category}",
+            "pid": pid, "tid": 0, "ts": seg.t0 * 1e6,
+            "dur": seg.dur * 1e6,
+            "args": {"rank": str(seg.rank), "detail": seg.detail},
+        })
+    return events
+
+
+def export_with_path(doc: dict, path: CriticalPath, out_path: str) -> dict:
+    out = {k: v for k, v in doc.items()}
+    out["traceEvents"] = list(doc.get("traceEvents", [])) \
+        + path_lane_events(doc, path)
+    with open(out_path, "w") as fh:
+        json.dump(out, fh, sort_keys=True, separators=(",", ":"))
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Diagnose an exported Chrome trace: critical path, "
+                    "wait states, POP efficiency metrics.",
+    )
+    parser.add_argument("trace", help="path to a trace.json exported by repro.trace")
+    parser.add_argument("--variant", default=None,
+                        help="variant label for the report header")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="cores per rank (default: inferred from trace)")
+    parser.add_argument("--export", metavar="OUT",
+                        help="write the trace with the critical path "
+                             "appended as a highlighted lane")
+    args = parser.parse_args(argv)
+    try:
+        doc = load_chrome_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    report = analyze_doc(doc, variant=args.variant,
+                         cores_per_rank=args.cores)
+    print(report.summary())
+    if args.export:
+        export_with_path(doc, report.path, args.export)
+        print(f"\ncritical-path trace written to {args.export}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,337 @@
+"""Normalized performance model built from trace records.
+
+The :class:`PerfModel` is the input to every analysis in :mod:`repro.perf`:
+it joins the tracer's causal instants (``task_submit``/``task_done`` with
+predecessor uids, ``msg_send``/``msg_deliver`` wire edges, GASPI
+``notify_arrival`` and TAGASPI ``notify_fulfilled`` completion edges) with
+the per-layer spans into per-task and per-rank views.
+
+It can be built either from a live :class:`~repro.trace.tracer.Tracer` or
+from an exported Chrome-trace document (``records_from_chrome``), so the
+CLI analyzes the same model the in-process ``perf=`` hook does.
+
+Rank normalization: the tasking runtime names ranks ``"rank0"`` (strings)
+while the MPI/GASPI/network layers use integer ranks; both are folded onto
+the integer rank so a task and its communication land in the same bucket.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.tracer import TraceRecord, Tracer
+
+_RANK_RE = re.compile(r"^rank ?(\d+)$")
+
+
+def norm_rank(rank: object) -> object:
+    """Fold ``"rank3"`` / ``"rank 3"`` style names onto the integer rank."""
+    if isinstance(rank, str):
+        m = _RANK_RE.match(rank)
+        if m:
+            return int(m.group(1))
+    return rank
+
+
+def records_from_chrome(doc: dict) -> List[TraceRecord]:
+    """Reconstruct :class:`TraceRecord` tuples from a Chrome-trace dict.
+
+    The inverse of :func:`repro.trace.exporters.chrome_trace` up to lane
+    names (tids map back through the ``thread_name`` metadata) and float
+    rounding of the µs timestamps.
+    """
+    pid_rank: Dict[int, object] = {}
+    tid_lane: Dict[Tuple[int, int], str] = {}
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "M":
+            continue
+        if ev.get("name") == "process_name":
+            label = ev["args"]["name"]
+            m = _RANK_RE.match(label)
+            pid_rank[ev["pid"]] = int(m.group(1)) if m else label
+        elif ev.get("name") == "thread_name":
+            lane = ev["args"]["name"]
+            tid_lane[(ev["pid"], ev["tid"])] = "" if lane == "main" else lane
+
+    records: List[TraceRecord] = []
+    for ev in doc.get("traceEvents", []):
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "C"):
+            continue
+        pid = ev.get("pid")
+        rank = pid_rank.get(pid, pid)
+        if rank == "global":
+            rank = None
+        t0 = ev.get("ts", 0.0) * 1e-6
+        args = dict(ev.get("args", {}))
+        if ph == "X":
+            records.append(TraceRecord(
+                "span", ev.get("cat", "?"), ev.get("name", "?"), rank,
+                tid_lane.get((pid, ev.get("tid", 0)), "") or None,
+                t0, t0 + ev.get("dur", 0.0) * 1e-6, args))
+        elif ph == "i":
+            records.append(TraceRecord(
+                "instant", ev.get("cat", "?"), ev.get("name", "?"), rank,
+                tid_lane.get((pid, ev.get("tid", 0)), "") or None,
+                t0, t0, args))
+        else:
+            records.append(TraceRecord(
+                "counter", ev.get("cat", "?"), ev.get("name", "?"), rank,
+                None, t0, t0, args))
+    return records
+
+
+@dataclass
+class TaskInfo:
+    """One completed task, keyed by (rank, uid)."""
+
+    rank: object
+    uid: int
+    label: str = "task"
+    preds: Tuple[int, ...] = ()
+    created: float = 0.0
+    ready: float = 0.0
+    started: float = 0.0
+    finished: float = 0.0
+    completed: float = 0.0
+    cpu: float = 0.0
+    #: TAMPI ``iwait.pending`` spans bound to this task
+    mpi_waits: List[TraceRecord] = field(default_factory=list)
+    #: TAGASPI ``*.inflight`` / ``*.detect`` spans bound to this task
+    gaspi_ops: List[TraceRecord] = field(default_factory=list)
+    #: joined notification waits bound to this task
+    notify_waits: List["NotifyWait"] = field(default_factory=list)
+
+
+@dataclass
+class NotifyWait:
+    """One ``tagaspi_notify_iwait`` joined with its wire arrival."""
+
+    rank: object
+    seg: object
+    notif_id: object
+    uid: Optional[int]
+    registered_at: float
+    fulfilled_at: float
+    #: sim time the notification landed in the segment (None if the
+    #: arrival instant was not traced, e.g. partial traces)
+    arrival_at: Optional[float] = None
+    #: injection time at the producer (late-notification root cause)
+    sent_at: Optional[float] = None
+    immediate: bool = False
+    #: producing task (joined from the producer's ``op_submit`` instants)
+    producer_rank: object = None
+    producer_uid: Optional[int] = None
+    #: sim time the producer task submitted the operation
+    submit_at: Optional[float] = None
+
+
+@dataclass
+class RankView:
+    """Per-rank record buckets for wait-state and efficiency analysis."""
+
+    rank: object
+    #: ``mpi`` blocking spans (``wait.block`` / ``waitall.block``)
+    blocked: List[TraceRecord] = field(default_factory=list)
+    #: all other ``mpi`` library spans (lock wait in ``args["wait"]``)
+    mpi_calls: List[TraceRecord] = field(default_factory=list)
+    #: ``proc``/``compute`` spans (MPI-only useful work)
+    compute: List[TraceRecord] = field(default_factory=list)
+    #: ``gaspi`` submission spans (queue wait in ``args["wait"]``)
+    gaspi_submits: List[TraceRecord] = field(default_factory=list)
+    #: TAGASPI ``*.detect`` spans (poller detection delay)
+    detects: List[TraceRecord] = field(default_factory=list)
+    #: TAMPI ``iwait.pending`` spans
+    iwaits: List[TraceRecord] = field(default_factory=list)
+    #: joined notification waits consumed on this rank
+    notify_waits: List[NotifyWait] = field(default_factory=list)
+    #: distinct worker lanes observed (cores actually used)
+    lanes: set = field(default_factory=set)
+    #: total task CPU seconds (completed, non-poller tasks)
+    task_cpu: float = 0.0
+
+
+class PerfModel:
+    """Joined causal model of one traced run."""
+
+    def __init__(self, records: List[TraceRecord]):
+        self.records = records
+        self.tasks: Dict[Tuple[object, int], TaskInfo] = {}
+        self.ranks: Dict[object, RankView] = {}
+        self.makespan = 0.0
+        #: msg_send instants by edge id, and matched deliver times
+        self.edges: Dict[int, Tuple[TraceRecord, Optional[float]]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _rank(self, rank: object) -> RankView:
+        rv = self.ranks.get(rank)
+        if rv is None:
+            rv = self.ranks[rank] = RankView(rank)
+        return rv
+
+    def _task(self, rank: object, uid: int) -> TaskInfo:
+        key = (rank, uid)
+        t = self.tasks.get(key)
+        if t is None:
+            t = self.tasks[key] = TaskInfo(rank, uid)
+        return t
+
+    def _build(self) -> None:
+        sends: Dict[int, TraceRecord] = {}
+        delivers: Dict[int, float] = {}
+        arrivals: Dict[Tuple[object, object, object], List[TraceRecord]] = {}
+        consumes: Dict[Tuple[object, object, object], List[NotifyWait]] = {}
+        submits: Dict[Tuple[object, object, object], List[TraceRecord]] = {}
+
+        for rec in self.records:
+            if rec.t1 > self.makespan:
+                self.makespan = rec.t1
+            rank = norm_rank(rec.rank)
+            cat, name = rec.category, rec.name
+            if rec.kind == "instant":
+                if cat == "tasking" and name == "task_submit":
+                    t = self._task(rank, rec.args["uid"])
+                    t.label = rec.args.get("task", t.label)
+                    t.preds = tuple(rec.args.get("preds", ()))
+                    t.created = rec.t0
+                elif cat == "tasking" and name == "task_done":
+                    t = self._task(rank, rec.args["uid"])
+                    t.label = rec.args.get("task", t.label)
+                    t.created = rec.args.get("created", t.created)
+                    t.ready = rec.args.get("ready", 0.0)
+                    t.started = rec.args.get("started", 0.0)
+                    t.finished = rec.args.get("finished", 0.0)
+                    t.completed = rec.t0
+                    t.cpu = rec.args.get("cpu", 0.0)
+                elif cat == "net" and name == "msg_send":
+                    sends[rec.args["eid"]] = rec
+                elif cat == "net" and name == "msg_deliver":
+                    delivers[rec.args["eid"]] = rec.t0
+                elif cat == "gaspi" and name == "notify_arrival":
+                    key = (rank, rec.args.get("seg"), rec.args.get("notif_id"))
+                    arrivals.setdefault(key, []).append(rec)
+                elif cat == "tagaspi" and name == "op_submit":
+                    key = (norm_rank(rec.args.get("dest")),
+                           rec.args.get("seg"), rec.args.get("notif_id"))
+                    submits.setdefault(key, []).append(rec)
+                elif cat == "tagaspi" and name in ("notify_fulfilled",
+                                                   "notify_immediate"):
+                    immediate = name == "notify_immediate"
+                    nw = NotifyWait(
+                        rank, rec.args.get("seg"), rec.args.get("notif_id"),
+                        rec.args.get("uid"),
+                        rec.args.get("registered_at", rec.t0), rec.t0,
+                        immediate=immediate)
+                    key = (rank, nw.seg, nw.notif_id)
+                    consumes.setdefault(key, []).append(nw)
+            elif rec.kind == "span":
+                if cat == "mpi":
+                    rv = self._rank(rank)
+                    if name in ("wait.block", "waitall.block"):
+                        rv.blocked.append(rec)
+                    else:
+                        rv.mpi_calls.append(rec)
+                elif cat == "proc" and name == "compute":
+                    self._rank(rank).compute.append(rec)
+                elif cat == "tampi" and name == "iwait.pending":
+                    self._rank(rank).iwaits.append(rec)
+                    uid = rec.args.get("uid")
+                    if uid is not None:
+                        self._task(rank, uid).mpi_waits.append(rec)
+                elif cat == "tagaspi":
+                    if name.endswith(".detect"):
+                        self._rank(rank).detects.append(rec)
+                    if name.endswith((".inflight", ".detect")):
+                        uid = rec.args.get("uid")
+                        if uid is not None:
+                            self._task(rank, uid).gaspi_ops.append(rec)
+                elif cat == "gaspi":
+                    self._rank(rank).gaspi_submits.append(rec)
+                elif cat == "tasking":
+                    lane = rec.lane or ""
+                    if lane.startswith("w"):
+                        self._rank(rank).lanes.add(lane)
+
+        # join notification consumption with wire arrivals, FIFO per
+        # (rank, seg, notif_id) — ids are reused across iterations and
+        # consumed in posting order
+        for key, waits in consumes.items():
+            waits.sort(key=lambda w: w.fulfilled_at)
+            arr = sorted(arrivals.get(key, ()), key=lambda r: r.t0)
+            sub = sorted(submits.get(key, ()), key=lambda r: r.t0)
+            for i, w in enumerate(waits):
+                if i < len(arr):
+                    w.arrival_at = arr[i].t0
+                    w.sent_at = arr[i].args.get("sent_at")
+                if i < len(sub):
+                    w.producer_rank = norm_rank(sub[i].rank)
+                    w.producer_uid = sub[i].args.get("uid")
+                    w.submit_at = sub[i].t0
+                if w.uid is not None:
+                    self._task(key[0], w.uid).notify_waits.append(w)
+                self._rank(key[0]).notify_waits.append(w)
+
+        for eid, rec in sends.items():
+            self.edges[eid] = (rec, delivers.get(eid))
+        # wire lookup keyed by the recv side's knowledge of the message:
+        # (src, dst, tag, injection time) -> delivery time
+        self.wire: Dict[Tuple[object, object, object, float], float] = {}
+        for rec, deliver_t in self.edges.values():
+            if deliver_t is None or "tag" not in rec.args:
+                continue
+            self.wire[(norm_rank(rec.rank), norm_rank(rec.args.get("dst")),
+                       rec.args["tag"], rec.t0)] = deliver_t
+
+        for t in self.tasks.values():
+            if t.completed > 0.0 or t.finished > 0.0:
+                self._rank(t.rank).task_cpu += t.cpu
+
+        # per-rank completed tasks by start time (producer lookup: "which
+        # task was executing on rank r at time t?")
+        self.tasks_by_rank: Dict[object, List[TaskInfo]] = {}
+        for t in sorted(self.tasks.values(),
+                        key=lambda x: (x.started, x.uid)):
+            if t.completed > 0.0:
+                self.tasks_by_rank.setdefault(t.rank, []).append(t)
+        self._starts_by_rank: Dict[object, List[float]] = {
+            r: [x.started for x in ts]
+            for r, ts in self.tasks_by_rank.items()}
+
+    def task_running_at(self, rank: object, t: float) -> Optional["TaskInfo"]:
+        """The completed task on ``rank`` whose body covered sim time ``t``
+        (latest-starting one when worker lanes overlap); None if idle."""
+        import bisect
+
+        tasks = self.tasks_by_rank.get(rank)
+        if not tasks:
+            return None
+        i = bisect.bisect_right(self._starts_by_rank[rank], t) - 1
+        while i >= 0:
+            if tasks[i].finished >= t - 1e-12:
+                return tasks[i]
+            i -= 1
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def completed_tasks(self) -> List[TaskInfo]:
+        return [t for t in self.tasks.values() if t.completed > 0.0]
+
+    def sorted_ranks(self) -> List[object]:
+        return sorted(self.ranks, key=lambda r: (not isinstance(r, int), str(r)))
+
+    @property
+    def is_tasking(self) -> bool:
+        """True when the run used a tasking runtime (hybrid variants)."""
+        return any(t.completed > 0.0 for t in self.tasks.values())
+
+
+def model_from_tracer(tracer: Tracer) -> PerfModel:
+    return PerfModel(list(tracer.records))
+
+
+def model_from_chrome(doc: dict) -> PerfModel:
+    return PerfModel(records_from_chrome(doc))

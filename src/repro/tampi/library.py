@@ -117,8 +117,9 @@ class TAMPI:
                     # iwait registration -> completion detection at the lock
                     # grant (includes the poller's lock wait, §VI-C)
                     tr.span("tampi", "iwait.pending", registered_at, grant.end,
-                            rank=self.mpi.rank, task=task.label,
-                            lock_wait=grant.wait)
+                            rank=self.mpi.rank, task=task.label, uid=task.uid,
+                            kind=req.kind, peer=req.peer, tag=req.tag,
+                            sent_at=req.sent_at, lock_wait=grant.wait)
             else:
                 still.append((req, task, is_pre, registered_at))
         self._pending = still

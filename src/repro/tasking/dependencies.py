@@ -17,7 +17,7 @@ out of scope (DESIGN.md §5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Tuple, TYPE_CHECKING
+from typing import Dict, Hashable, List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.tasking.task import Task
@@ -74,9 +74,14 @@ class DependencyTracker:
         self._regions: Dict[Hashable, _RegionState] = {}
         self.edges = 0
 
-    def register(self, task: "Task") -> int:
+    def register(self, task: "Task", preds: Optional[List["Task"]] = None) -> int:
         """Record ``task``'s accesses; returns the number of predecessor
-        edges added (0 means the task is immediately ready)."""
+        edges added (0 means the task is immediately ready).
+
+        ``preds``, when given, collects the predecessor tasks of every edge
+        added — the explicit dependency edges the tracer exports for
+        post-mortem critical-path analysis (:mod:`repro.perf`).
+        """
         from repro.tasking.task import TaskState
 
         added = 0
@@ -89,16 +94,22 @@ class DependencyTracker:
                 if w is not None and w is not task and w.state is not TaskState.COMPLETED:
                     w.successors.append(task)
                     added += 1
+                    if preds is not None:
+                        preds.append(w)
                 region.readers.append(task)
             else:  # out / inout: after last writer and all readers
                 w = region.last_writer
                 if w is not None and w is not task and w.state is not TaskState.COMPLETED:
                     w.successors.append(task)
                     added += 1
+                    if preds is not None:
+                        preds.append(w)
                 for r in region.readers:
                     if r is not task and r.state is not TaskState.COMPLETED:
                         r.successors.append(task)
                         added += 1
+                        if preds is not None:
+                            preds.append(r)
                 region.last_writer = task
                 region.readers = []
                 # inout also reads, but as the new last writer it already

@@ -121,7 +121,15 @@ class Runtime:
         an = self.engine.analysis
         if an.enabled:
             an.on_task_submit(task, self)
-        added = self.deps.register(task)
+        tr = self.engine.tracer
+        if tr.enabled:
+            preds: List[Task] = []
+            added = self.deps.register(task, preds)
+            tr.instant("tasking", "task_submit", self.engine.now,
+                       rank=self.name, task=task.label, uid=task.uid,
+                       preds=tuple(p.uid for p in preds))
+        else:
+            added = self.deps.register(task)
         task.remaining_deps = added
         if added == 0:
             self._make_ready(task)
@@ -238,6 +246,12 @@ class Runtime:
             tr.span("tasking", "event_wait", task.finished_at,
                     task.completed_at, rank=self.name, task=task.label,
                     uid=task.uid)
+        if tr.enabled:
+            tr.instant("tasking", "task_done", self.engine.now,
+                       rank=self.name, task=task.label, uid=task.uid,
+                       created=task.created_at, ready=task.ready_at,
+                       started=task.started_at, finished=task.finished_at,
+                       cpu=task.cpu_time)
         st = self.stats
         st.tasks_completed += 1
         st.total_task_cpu_time += task.cpu_time

@@ -105,11 +105,13 @@ def load_chrome_trace(path: str) -> dict:
 
 
 def text_timeline(tracer: Tracer, rank: object = None,
-                  limit: Optional[int] = None) -> str:
+                  limit: Optional[int] = None,
+                  counters: bool = False) -> str:
     """Plain-text per-rank timeline of span records (a poor man's Paraver).
 
     ``rank`` restricts to one process lane; ``limit`` truncates to the
-    first N spans by start time.
+    first N spans by start time. With ``counters=True`` a second table of
+    counter samples (time, rank, counter, value) is appended.
     """
     from repro.harness.report import format_table  # local: avoid import cycle
 
@@ -125,6 +127,24 @@ def text_timeline(tracer: Tracer, rank: object = None,
     title = "timeline" if rank is None else f"timeline (rank {rank})"
     if len(shown) < len(spans):
         title += f" [first {len(shown)} of {len(spans)} spans]"
-    return format_table(
+    out = format_table(
         title, ["t0 (us)", "dur (us)", "rank", "lane", "category", "name"], rows
+    )
+    if not counters:
+        return out
+    samples = [r for r in tracer.records if r.kind == "counter"
+               and (rank is None or _rank_key(r.rank) == _rank_key(rank))]
+    samples.sort(key=lambda r: (r.t0, str(_rank_key(r.rank)),
+                                r.category, r.name))
+    cshown = samples if limit is None else samples[:limit]
+    ctitle = "counter lanes"
+    if len(cshown) < len(samples):
+        ctitle += f" [first {len(cshown)} of {len(samples)} samples]"
+    crows = [
+        [f"{r.t0 * 1e6:.3f}", str(_rank_key(r.rank)),
+         f"{r.category}/{r.name}", r.args.get("value", 0.0)]
+        for r in cshown
+    ]
+    return out + "\n\n" + format_table(
+        ctitle, ["t (us)", "rank", "counter", "value"], crows
     )

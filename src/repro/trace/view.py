@@ -20,6 +20,8 @@ def summarize(doc: dict, top: int = 10) -> str:
 
     by_cat: Dict[str, List[float]] = {}
     by_name: Dict[Tuple[str, str], List[float]] = {}
+    # per counter: [samples, min, max, last_ts, last_value]
+    by_counter: Dict[Tuple[str, str], List[float]] = {}
     n_spans = n_instants = n_counters = 0
     for ev in doc.get("traceEvents", []):
         ph = ev.get("ph")
@@ -36,6 +38,18 @@ def summarize(doc: dict, top: int = 10) -> str:
             n_instants += 1
         elif ph == "C":
             n_counters += 1
+            key = (ev.get("cat", "?"), ev.get("name", "?"))
+            val = ev.get("args", {}).get("value", 0.0)
+            ts = ev.get("ts", 0.0)
+            agg = by_counter.get(key)
+            if agg is None:
+                by_counter[key] = [1, val, val, ts, val]
+            else:
+                agg[0] += 1
+                agg[1] = min(agg[1], val)
+                agg[2] = max(agg[2], val)
+                if ts >= agg[3]:
+                    agg[3], agg[4] = ts, val
 
     cat_rows = sorted(by_cat.items(), key=lambda kv: -kv[1][1])[:top]
     name_rows = sorted(by_name.items(), key=lambda kv: -kv[1][1])[:top]
@@ -54,6 +68,18 @@ def summarize(doc: dict, top: int = 10) -> str:
             [[cat, name, cnt, tot] for (cat, name), (cnt, tot) in name_rows],
         ),
     ]
+    if by_counter:
+        counter_rows = sorted(by_counter.items(),
+                              key=lambda kv: (-kv[1][0], kv[0]))[:top]
+        parts += [
+            "",
+            format_table(
+                f"top {len(counter_rows)} counters by samples",
+                ["category", "name", "samples", "min", "max", "last"],
+                [[cat, name, int(n), mn, mx, last]
+                 for (cat, name), (n, mn, mx, _ts, last) in counter_rows],
+            ),
+        ]
     return "\n".join(parts)
 
 

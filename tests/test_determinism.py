@@ -158,3 +158,64 @@ class TestFaultDeterminism:
         a, b = run(1), run(2)
         assert np.array_equal(a.extra["grid"], b.extra["grid"])
         assert a.sim_time != b.sim_time
+
+
+class TestPerfDeterminism:
+    """The perf-diagnosis subsystem is a passive observer: a ``perf=True``
+    run must be bit-identical in simulated time (and in the underlying
+    trace) to a plain run, and its analysis a pure function of the trace."""
+
+    @staticmethod
+    def _run_gs(variant, perf, tracer=None, seed=7):
+        from repro.apps.gauss_seidel import GSParams, run_gauss_seidel
+
+        params = GSParams(rows=64, cols=64, timesteps=2, block_size=32,
+                          compute_data=False)
+        spec = JobSpec(machine=MACH4, n_nodes=2, variant=variant, seed=seed,
+                       poll_period_us=25, perf=perf)
+        return run_gauss_seidel(spec, params, tracer=tracer)
+
+    @pytest.mark.parametrize("variant", ["mpi", "tampi", "tagaspi"])
+    def test_perf_run_bit_identical_to_plain(self, variant):
+        plain = self._run_gs(variant, perf=False)
+        perf = self._run_gs(variant, perf=True)
+        assert perf.sim_time == plain.sim_time
+        assert perf.throughput == plain.throughput
+        stripped = {k: v for k, v in perf.extra.items()
+                    if not k.startswith("perf_")}
+        assert stripped == plain.extra
+        assert any(k.startswith("perf_") for k in perf.extra)
+
+    def test_perf_run_leaves_trace_untouched(self):
+        """Passing an external tracer: the perf analysis consumes it but
+        must not add, drop, or reorder a single record."""
+        ta = Tracer(progress_every=None)
+        self._run_gs("tagaspi", perf=False, tracer=ta)
+        tb = Tracer(progress_every=None)
+        self._run_gs("tagaspi", perf=True, tracer=tb)
+        assert len(ta) == len(tb) > 0
+        assert ta.records == tb.records
+        dump = lambda t: json.dumps(chrome_trace(t), sort_keys=True)
+        assert dump(ta) == dump(tb)
+
+    @pytest.mark.parametrize("variant", ["mpi", "tagaspi"])
+    def test_critical_path_identical_across_runs(self, variant):
+        from repro.perf import critical_path, model_from_tracer
+
+        def run():
+            tr = Tracer(progress_every=None)
+            self._run_gs(variant, perf=False, tracer=tr)
+            return critical_path(model_from_tracer(tr))
+
+        a, b = run(), run()
+        assert a.segments == b.segments
+        assert a.makespan == b.makespan
+        assert len(a.segments) > 0
+
+    def test_perf_metrics_identical_across_runs(self):
+        a = self._run_gs("tagaspi", perf=True)
+        b = self._run_gs("tagaspi", perf=True)
+        perf_keys = {k: v for k, v in a.extra.items()
+                     if k.startswith("perf_")}
+        assert perf_keys == {k: v for k, v in b.extra.items()
+                             if k.startswith("perf_")}

@@ -14,6 +14,7 @@ EXAMPLES = [
     "examples/fault_sweep.py",
     "examples/racy_put.py",
     "examples/deadlock_cycle.py",
+    "examples/perf_diagnosis.py",
 ]
 
 

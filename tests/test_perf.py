@@ -1,0 +1,453 @@
+"""The performance-diagnosis subsystem (repro.perf) and the bench
+regression gate (repro.bench.compare).
+
+Covers: the causal instants the instrumentation layers emit, the joined
+PerfModel, critical-path extraction for both the task-graph and the
+rank-timeline walkers, the wait-state classifier, the POP efficiency
+metrics, the perf= runner axis, the CLI, and — as the issue's acceptance
+bar — that on a Gauss–Seidel run the dominant wait state is named per
+variant and the hybrids' critical-path comm share undercuts blocking MPI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.gauss_seidel import GSParams, run_gauss_seidel
+from repro.harness import JobSpec, MARENOSTRUM4
+from repro.perf import (
+    CATEGORIES,
+    analyze_doc,
+    analyze_tracer,
+    classify_waits,
+    compute_efficiency,
+    critical_path,
+    dominant_wait,
+    model_from_chrome,
+    model_from_tracer,
+)
+from repro.perf.model import norm_rank
+from repro.trace import Tracer, chrome_trace, write_chrome_trace
+
+MACH4 = MARENOSTRUM4.with_cores(4)
+
+
+def gs_trace(variant, *, n_nodes=2, seed=7, rows=64, cols=256, steps=2,
+             block=32, poll=25):
+    tracer = Tracer(progress_every=None)
+    spec = JobSpec(machine=MACH4, n_nodes=n_nodes, variant=variant,
+                   seed=seed, poll_period_us=poll)
+    params = GSParams(rows=rows, cols=cols, timesteps=steps,
+                      block_size=block, compute_data=False)
+    res = run_gauss_seidel(spec, params, tracer=tracer)
+    return res, tracer
+
+
+@pytest.fixture(scope="module")
+def tagaspi_trace():
+    return gs_trace("tagaspi")
+
+
+@pytest.fixture(scope="module")
+def tampi_trace():
+    return gs_trace("tampi")
+
+
+@pytest.fixture(scope="module")
+def mpi_trace():
+    return gs_trace("mpi")
+
+
+class TestCausalInstants:
+    """The instrumentation layers emit the causal edges the model joins."""
+
+    def test_task_edges(self, tampi_trace):
+        _, tracer = tampi_trace
+        submits = [r for r in tracer.records
+                   if r.category == "tasking" and r.name == "task_submit"]
+        dones = [r for r in tracer.records
+                 if r.category == "tasking" and r.name == "task_done"]
+        assert submits and dones
+        assert all("uid" in r.args and "preds" in r.args for r in submits)
+        assert any(r.args["preds"] for r in submits)
+        assert all(r.args["finished"] <= r.t0 for r in dones)
+
+    def test_wire_edges_pair_up(self, mpi_trace):
+        _, tracer = mpi_trace
+        sends = {r.args["eid"] for r in tracer.records
+                 if r.category == "net" and r.name == "msg_send"}
+        delivers = {r.args["eid"] for r in tracer.records
+                    if r.category == "net" and r.name == "msg_deliver"}
+        assert sends and delivers <= sends
+        # edge ids are cluster-local and dense from 0
+        assert min(sends) == 0 and max(sends) == len(sends) - 1
+
+    def test_notification_edges(self, tagaspi_trace):
+        _, tracer = tagaspi_trace
+        arrivals = [r for r in tracer.records
+                    if r.category == "gaspi" and r.name == "notify_arrival"]
+        fulfilled = [r for r in tracer.records
+                     if r.category == "tagaspi" and r.name == "notify_fulfilled"]
+        submits = [r for r in tracer.records
+                   if r.category == "tagaspi" and r.name == "op_submit"]
+        assert arrivals and fulfilled and submits
+        assert all("notif_id" in r.args and "sent_at" in r.args
+                   for r in arrivals)
+        assert all("uid" in r.args for r in submits)
+
+    def test_no_process_global_ids_in_trace(self, tagaspi_trace):
+        """Message/request uids are process-global (they differ between an
+        isolated run and a suite run) and must never leak into traces."""
+        _, tracer = tagaspi_trace
+        for rec in tracer.records:
+            if rec.category == "net":
+                assert "uid" not in rec.args
+
+    def test_disabled_tracer_costs_nothing(self):
+        a, _ = gs_trace("tagaspi")
+        spec = JobSpec(machine=MACH4, n_nodes=2, variant="tagaspi",
+                       seed=7, poll_period_us=25)
+        params = GSParams(rows=64, cols=256, timesteps=2, block_size=32,
+                          compute_data=False)
+        b = run_gauss_seidel(spec, params)  # no tracer at all
+        assert a.sim_time == b.sim_time
+
+
+class TestPerfModel:
+    def test_rank_normalization(self):
+        assert norm_rank("rank3") == 3
+        assert norm_rank("rank 12") == 12
+        assert norm_rank(5) == 5
+        assert norm_rank("global") == "global"
+
+    def test_tasks_join_onto_integer_ranks(self, tampi_trace):
+        _, tracer = tampi_trace
+        model = model_from_tracer(tracer)
+        assert model.is_tasking
+        assert model.completed_tasks
+        assert all(isinstance(t.rank, int) for t in model.completed_tasks)
+
+    def test_notify_waits_join_producers(self, tagaspi_trace):
+        _, tracer = tagaspi_trace
+        model = model_from_tracer(tracer)
+        waits = [w for rv in model.ranks.values() for w in rv.notify_waits
+                 if not w.immediate]
+        assert waits
+        joined = [w for w in waits if w.producer_uid is not None]
+        assert joined
+        for w in joined:
+            assert w.arrival_at is not None
+            assert w.submit_at <= w.arrival_at <= w.fulfilled_at + 1e-12
+            # the producer resolves to a real completed task
+            assert (w.producer_rank, w.producer_uid) in model.tasks
+
+    def test_chrome_round_trip_gives_same_model(self, tagaspi_trace):
+        _, tracer = tagaspi_trace
+        m1 = model_from_tracer(tracer)
+        m2 = model_from_chrome(chrome_trace(tracer))
+        assert sorted(m1.tasks) == sorted(m2.tasks)
+        assert m1.sorted_ranks() == m2.sorted_ranks()
+        assert m1.makespan == pytest.approx(m2.makespan, rel=1e-9)
+
+    def test_mpi_model_is_not_tasking(self, mpi_trace):
+        _, tracer = mpi_trace
+        model = model_from_tracer(tracer)
+        assert not model.is_tasking
+        assert any(rv.compute for rv in model.ranks.values())
+        assert any(rv.blocked for rv in model.ranks.values())
+
+
+class TestCriticalPath:
+    def test_path_is_contiguous_and_positive(self, tagaspi_trace):
+        _, tracer = tagaspi_trace
+        path = critical_path(model_from_tracer(tracer))
+        assert path.segments
+        for seg in path.segments:
+            assert seg.t1 >= seg.t0
+            assert seg.category in CATEGORIES
+        # segments are in time order and the path spans a meaningful
+        # fraction of the makespan
+        starts = [s.t0 for s in path.segments]
+        assert starts == sorted(starts)
+        assert path.length() >= 0.5 * path.makespan
+
+    def test_shares_sum_to_one(self, tampi_trace):
+        _, tracer = tampi_trace
+        path = critical_path(model_from_tracer(tracer))
+        assert sum(path.shares().values()) == pytest.approx(1.0)
+
+    def test_mpi_path_partitions_last_rank(self, mpi_trace):
+        _, tracer = mpi_trace
+        path = critical_path(model_from_tracer(tracer))
+        assert path.segments
+        shares = path.shares()
+        assert shares["compute"] > 0.0
+        assert shares["comm"] + shares["lock_wait"] > 0.0
+        # a single rank's timeline: all segments on one rank
+        assert len({s.rank for s in path.segments}) == 1
+
+    def test_tagaspi_path_crosses_ranks(self, tagaspi_trace):
+        """The notification producer jump must take the path across rank
+        boundaries (a single-rank path means every remote wait was charged
+        locally, the bug the jump exists to fix)."""
+        _, tracer = tagaspi_trace
+        path = critical_path(model_from_tracer(tracer))
+        assert len({s.rank for s in path.segments}) > 1
+
+    def test_deterministic(self, tagaspi_trace):
+        _, tracer = tagaspi_trace
+        m = model_from_tracer(tracer)
+        assert critical_path(m).segments == critical_path(m).segments
+
+
+class TestWaitStates:
+    def test_mpi_run_sees_late_senders(self, mpi_trace):
+        _, tracer = mpi_trace
+        waits = classify_waits(model_from_tracer(tracer))
+        assert waits
+        assert sum(w.late_sender for w in waits) > 0.0
+        assert dominant_wait(waits) in ("late_sender", "lock_wait")
+
+    def test_tagaspi_run_sees_notification_waits(self, tagaspi_trace):
+        _, tracer = tagaspi_trace
+        waits = classify_waits(model_from_tracer(tracer))
+        assert sum(w.late_notification + w.poll_detection
+                   for w in waits) > 0.0
+
+    def test_per_rank_dominant_label(self, mpi_trace):
+        _, tracer = mpi_trace
+        waits = classify_waits(model_from_tracer(tracer))
+        from repro.perf.waitstates import WAIT_STATES
+
+        for w in waits:
+            assert w.dominant() in WAIT_STATES + ("none",)
+            assert w.total() == pytest.approx(sum(w.as_dict().values()))
+
+    def test_dominant_wait_none_for_empty_model(self):
+        tr = Tracer(progress_every=None)
+        waits = classify_waits(model_from_tracer(tr))
+        assert dominant_wait(waits) == "none"
+
+
+class TestEfficiency:
+    def test_metrics_in_unit_range(self, tampi_trace):
+        _, tracer = tampi_trace
+        m = model_from_tracer(tracer)
+        eff = compute_efficiency(m, critical_path(m), cores_per_rank=4)
+        for v in (eff.parallel_efficiency, eff.load_balance,
+                  eff.comm_efficiency, eff.serialization_efficiency):
+            assert 0.0 <= v <= 1.0 + 1e-9
+        assert eff.parallel_efficiency == pytest.approx(
+            eff.load_balance * eff.comm_efficiency)
+
+    def test_mpi_metrics(self, mpi_trace):
+        _, tracer = mpi_trace
+        m = model_from_tracer(tracer)
+        eff = compute_efficiency(m, critical_path(m), cores_per_rank=1)
+        assert 0.0 < eff.comm_efficiency <= 1.0 + 1e-9
+
+
+class TestRunnerAxis:
+    def test_perf_axis_populates_extra(self):
+        spec = JobSpec(machine=MACH4, n_nodes=2, variant="tagaspi",
+                       seed=7, poll_period_us=25, perf=True)
+        params = GSParams(rows=64, cols=256, timesteps=2, block_size=32,
+                          compute_data=False)
+        res = run_gauss_seidel(spec, params)
+        for key in ("perf_parallel_efficiency", "perf_load_balance",
+                    "perf_comm_efficiency", "perf_serialization_efficiency",
+                    "perf_cp_comm_share", "perf_dominant_wait"):
+            assert key in res.extra
+        assert isinstance(res.extra["perf_dominant_wait"], str)
+
+    def test_run_variants_perf_axis(self):
+        from repro.harness.sweep import run_variants
+
+        params = GSParams(rows=48, cols=96, timesteps=2, block_size=24,
+                          compute_data=False)
+        results = run_variants(run_gauss_seidel, MACH4, 2, params,
+                               variants=("mpi", "tampi"), perf=True, seed=3)
+        assert set(results) == {"mpi", "tampi"}
+        for per_fault in results.values():
+            for res in per_fault.values():
+                assert "perf_dominant_wait" in res.extra
+
+
+class TestAcceptance:
+    """The issue's acceptance bar, scaled to test size: the report names a
+    dominant wait state per variant, and the hybrids' critical-path comm
+    share is strictly below blocking MPI's on a communication-bound run."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        out = {}
+        for variant, block in (("mpi", 512), ("tampi", 128), ("tagaspi", 128)):
+            spec = JobSpec(machine=MARENOSTRUM4, n_nodes=8, seed=1,
+                           variant=variant, poll_period_us=50, perf=True)
+            params = GSParams(rows=512, cols=4096, timesteps=3,
+                              block_size=block, compute_data=False)
+            out[variant] = run_gauss_seidel(spec, params)
+        return out
+
+    def test_dominant_wait_named_per_variant(self, reports):
+        from repro.perf.waitstates import WAIT_STATES
+
+        for variant, res in reports.items():
+            dom = res.extra["perf_dominant_wait"]
+            assert dom in WAIT_STATES, variant
+
+    def test_hybrid_cp_comm_share_below_mpi(self, reports):
+        mpi = reports["mpi"].extra["perf_cp_comm_share"]
+        assert reports["tampi"].extra["perf_cp_comm_share"] < mpi
+        assert reports["tagaspi"].extra["perf_cp_comm_share"] < mpi
+
+
+class TestCLI:
+    def test_cli_summary_and_export(self, tagaspi_trace, tmp_path, capsys):
+        from repro.perf.cli import main
+
+        _, tracer = tagaspi_trace
+        trace_path = str(tmp_path / "trace.json")
+        write_chrome_trace(tracer, trace_path)
+        out_path = str(tmp_path / "trace_cp.json")
+        rc = main([trace_path, "--variant", "tagaspi",
+                   "--export", out_path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "wait states" in out
+        assert "efficiency" in out
+        with open(out_path) as fh:
+            doc = json.load(fh)
+        lanes = [ev for ev in doc["traceEvents"]
+                 if ev.get("ph") == "X" and ev.get("cat") == "perf"]
+        assert lanes
+        assert all(ev["name"].startswith("cp.") for ev in lanes)
+        names = [ev["args"]["name"] for ev in doc["traceEvents"]
+                 if ev.get("ph") == "M" and ev["name"] == "process_name"]
+        assert "critical path" in names
+
+    def test_cli_missing_file(self, tmp_path, capsys):
+        from repro.perf.cli import main
+
+        rc = main([str(tmp_path / "nope.json")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchGate:
+    def _payload(self, name="gs", throughput=100.0, quick=True, **kw):
+        payload = {"name": name, "unit": "events/s", "throughput": throughput,
+                   "wall_s": 1.0, "quick": quick}
+        payload.update(kw)
+        return payload
+
+    def test_ok_within_threshold(self):
+        from repro.bench.compare import compare_payloads
+
+        res = compare_payloads(self._payload(throughput=90.0),
+                               self._payload(throughput=100.0))
+        assert res.status == "ok"
+
+    def test_regression_past_threshold(self):
+        from repro.bench.compare import compare_payloads
+
+        res = compare_payloads(self._payload(throughput=70.0),
+                               self._payload(throughput=100.0))
+        assert res.status == "regression"
+        assert "throughput" in res.metric
+
+    def test_speedup_preferred_over_throughput(self):
+        from repro.bench.compare import compare_payloads
+
+        # throughput regressed (host-dependent) but the speedup ratio
+        # held: the host-independent metric must win
+        res = compare_payloads(
+            self._payload(throughput=10.0, speedup=2.0),
+            self._payload(throughput=100.0, speedup=2.1))
+        assert res.status == "ok"
+        assert res.metric == "speedup"
+
+    def test_calibration_normalizes_throughput(self):
+        from repro.bench.compare import compare_payloads
+
+        # half the raw throughput on a host measured half as fast: fine
+        res = compare_payloads(
+            self._payload(throughput=50.0, calibration=500.0),
+            self._payload(throughput=100.0, calibration=1000.0))
+        assert res.status == "ok"
+        assert res.ratio == pytest.approx(1.0)
+
+    def test_quick_flag_mismatch_skips(self):
+        from repro.bench.compare import compare_payloads
+
+        res = compare_payloads(self._payload(quick=True),
+                               self._payload(quick=False))
+        assert res.status == "skipped"
+        assert "quick" in res.note
+
+    def test_sweep_gets_more_slack(self):
+        from repro.bench.compare import compare_payloads
+
+        fresh = self._payload(name="sweep", speedup=0.75)
+        base = self._payload(name="sweep", speedup=1.0)
+        assert compare_payloads(fresh, base).status == "ok"
+        fresh["speedup"] = 0.6
+        assert compare_payloads(fresh, base).status == "regression"
+
+    def test_compare_against_dir_missing_baseline(self, tmp_path):
+        from repro.bench.compare import compare_against_dir
+
+        results = compare_against_dir([self._payload(name="ghost")],
+                                      str(tmp_path))
+        assert results[0].status == "skipped"
+
+    def test_history_append(self, tmp_path):
+        from repro.bench.compare import append_history, history_record
+
+        path = str(tmp_path / "BENCH_history.jsonl")
+        rec = history_record(self._payload(speedup=2.0), rev="abc1234")
+        append_history(path, rec)
+        append_history(path, rec)
+        lines = [json.loads(ln) for ln in open(path)]
+        assert len(lines) == 2
+        assert lines[0]["name"] == "gs"
+        assert lines[0]["speedup"] == 2.0
+        assert lines[0]["git_rev"] == "abc1234"
+        assert "ts" in lines[0]
+
+    def test_cli_gate_exits_nonzero_on_regression(self, tmp_path, capsys):
+        """End-to-end: a crafted inflated baseline must fail the gate."""
+        from repro.bench.cli import main
+        from repro.bench.record import write_bench_json
+
+        outdir = str(tmp_path / "out")
+        basedir = str(tmp_path / "base")
+        # run one real quick benchmark to get an honest payload shape
+        rc = main(["--quick", "--only", "matching", "--outdir", outdir,
+                   "--baseline-dir", basedir, "--no-history"])
+        assert rc == 0
+        with open(f"{outdir}/BENCH_matching.json") as fh:
+            payload = json.load(fh)
+        payload["speedup"] *= 10  # baseline 10x faster -> regression
+        write_bench_json("matching", payload, basedir)
+        rc = main(["--quick", "--only", "matching", "--outdir", outdir,
+                   "--baseline-dir", basedir, "--compare", "--no-history"])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_cli_gate_passes_against_self(self, tmp_path):
+        from repro.bench.cli import main
+
+        outdir = str(tmp_path / "out")
+        rc = main(["--quick", "--only", "matching", "--outdir", outdir,
+                   "--no-history"])
+        assert rc == 0
+        rc = main(["--quick", "--only", "matching", "--outdir", outdir,
+                   "--baseline-dir", outdir, "--compare",
+                   "--history", str(tmp_path / "h.jsonl")])
+        assert rc == 0
+        lines = list(open(tmp_path / "h.jsonl"))
+        assert len(lines) == 1

@@ -1,0 +1,151 @@
+"""Round-trip tests for the trace exporters.
+
+``write_chrome_trace`` → ``load_chrome_trace`` → ``records_from_chrome``
+must preserve every span, instant, and counter (up to the documented µs
+rounding), keep rank ordering stable, and the text timeline must render
+counter lanes on request without changing its default output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.model import records_from_chrome
+from repro.trace import Tracer
+from repro.trace.exporters import (
+    chrome_trace,
+    load_chrome_trace,
+    text_timeline,
+    write_chrome_trace,
+)
+from repro.trace.view import summarize
+
+
+def make_tracer() -> Tracer:
+    tr = Tracer(progress_every=None)
+    tr.span("mpi", "send", 1e-6, 3e-6, rank=0, tag=7, peer=1)
+    tr.span("mpi", "recv", 2e-6, 5e-6, rank=1, tag=7, peer=0)
+    tr.span("tasking", "task.body", 4e-6, 9e-6, rank="rank0", lane="w1",
+            label="block")
+    tr.span("sim", "progress", 0.0, 1e-5)  # global (no rank)
+    tr.instant("net", "msg_send", 1.5e-6, rank=0, dst=1, eid=0)
+    tr.instant("net", "msg_deliver", 2.5e-6, rank=1, src=0, eid=0)
+    tr.counter("sim", "queue_depth", 1e-6, 5.0)
+    tr.counter("sim", "queue_depth", 6e-6, 2.0, rank=0)
+    return tr
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return make_tracer()
+
+
+class TestChromeRoundTrip:
+    def test_write_load_preserves_counts(self, tracer, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(tracer, path)
+        doc = load_chrome_trace(path)
+        recs = records_from_chrome(doc)
+        kinds = [r.kind for r in recs]
+        assert kinds.count("span") == 4
+        assert kinds.count("instant") == 2
+        assert kinds.count("counter") == 2
+
+    def test_round_trip_preserves_span_contents(self, tracer, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(tracer, path)
+        recs = records_from_chrome(load_chrome_trace(path))
+
+        def key(r):
+            return (r.kind, r.category, r.name)
+
+        orig = {key(r): r for r in tracer.records if r.kind != "counter"}
+        for rec in recs:
+            if rec.kind == "counter":
+                continue
+            src = orig[key(rec)]
+            assert rec.t0 == pytest.approx(src.t0, abs=1e-12)
+            assert rec.t1 == pytest.approx(src.t1, abs=1e-12)
+        counter_times = sorted(r.t0 for r in recs if r.kind == "counter")
+        assert counter_times == pytest.approx([1e-6, 6e-6], abs=1e-12)
+        # span args survive verbatim
+        send = next(r for r in recs if r.name == "send")
+        assert send.args == {"tag": 7, "peer": 1}
+        # instant args survive verbatim
+        deliver = next(r for r in recs if r.name == "msg_deliver")
+        assert deliver.args == {"src": 0, "eid": 0}
+
+    def test_round_trip_ranks_and_lanes(self, tracer, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(tracer, path)
+        recs = records_from_chrome(load_chrome_trace(path))
+        # integer ranks come back as ints; the tasking rank label folds
+        # onto its integer; the global record maps to rank None
+        assert next(r for r in recs if r.name == "send").rank == 0
+        assert next(r for r in recs if r.name == "recv").rank == 1
+        body = next(r for r in recs if r.name == "task.body")
+        assert body.rank == 0 and body.lane == "w1"
+        assert next(r for r in recs if r.name == "progress").rank is None
+
+    def test_rank_ordering_is_stable(self, tracer):
+        doc = chrome_trace(tracer)
+        names = [ev["args"]["name"] for ev in doc["traceEvents"]
+                 if ev.get("ph") == "M" and ev["name"] == "process_name"]
+        # ints in numeric order first, then strings
+        assert names == ["rank 0", "rank 1", "global", "rank0"]
+        pids = [ev["pid"] for ev in doc["traceEvents"]
+                if ev.get("ph") == "M" and ev["name"] == "process_name"]
+        assert pids == sorted(pids)
+
+    def test_byte_identical_exports(self, tracer, tmp_path):
+        p1, p2 = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        write_chrome_trace(tracer, p1)
+        write_chrome_trace(make_tracer(), p2)
+        with open(p1, "rb") as f1, open(p2, "rb") as f2:
+            assert f1.read() == f2.read()
+
+    def test_load_rejects_non_trace(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="traceEvents"):
+            load_chrome_trace(str(path))
+
+
+class TestTextTimelineCounters:
+    def test_default_output_has_no_counter_table(self, tracer):
+        out = text_timeline(tracer)
+        assert "counter lanes" not in out
+        assert "queue_depth" not in out
+
+    def test_counter_lanes_render(self, tracer):
+        out = text_timeline(tracer, counters=True)
+        assert "counter lanes" in out
+        assert "sim/queue_depth" in out
+        assert "5.0" in out and "2.0" in out
+
+    def test_counter_lanes_respect_rank_filter(self, tracer):
+        out = text_timeline(tracer, rank=0, counters=True)
+        # only the rank-0 sample (value 2.0) remains
+        assert "2.0" in out
+        assert "5.0" not in out
+
+    def test_counter_lanes_respect_limit(self, tracer):
+        out = text_timeline(tracer, counters=True, limit=1)
+        assert "first 1 of 2 samples" in out
+
+
+class TestViewCounterSummary:
+    def test_summarize_reports_counter_stats(self, tracer):
+        doc = chrome_trace(tracer)
+        out = summarize(doc)
+        assert "2 counter samples" in out
+        assert "counters by samples" in out
+        # samples / min / max / last across both samples
+        line = next(ln for ln in out.splitlines() if "queue_depth" in ln)
+        assert line.split()[-4:] == ["2", "2", "5", "2"]
+
+    def test_summarize_without_counters_has_no_table(self):
+        tr = Tracer(progress_every=None)
+        tr.span("mpi", "send", 0.0, 1e-6, rank=0)
+        out = summarize(chrome_trace(tr))
+        assert "counters by samples" not in out
