@@ -7,4 +7,8 @@ TAGASPI variants (paper §VI):
   dynamic, irregular communication (§VI-B, Figs. 11–12);
 * :mod:`repro.apps.streaming` — communication-intensive pipeline across
   nodes (§VI-C, Fig. 13).
+
+Beyond the paper's set, :mod:`repro.apps.cg` adds a collective-heavy
+conjugate-gradient mini-app used to compare the three collective backends
+of :mod:`repro.collectives` (``JobSpec.backend``; docs/collectives.md).
 """

@@ -1,0 +1,16 @@
+"""Collective-heavy conjugate-gradient mini-app.
+
+Unlike the paper's three halo-exchange applications, CG's communication is
+*all collectives*: one allgather (the search direction) and two allreduces
+(the dot products) per iteration, plus a broadcast of the right-hand side
+and barriers around the timed region. That makes it the benchmark that
+separates the three collective backends of :mod:`repro.collectives`
+(``JobSpec.backend``) — and, with ``staleness > 0`` on the GASPI backend,
+a demonstrator for the eventually consistent allreduce under network
+partitions (docs/collectives.md).
+"""
+
+from repro.apps.cg.common import CGParams, cg_matrix, cg_reference, cg_rhs
+from repro.apps.cg.runner import run_cg
+
+__all__ = ["CGParams", "cg_matrix", "cg_reference", "cg_rhs", "run_cg"]

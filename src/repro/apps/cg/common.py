@@ -1,0 +1,82 @@
+"""CG problem definition, parameters, and the numpy reference solver.
+
+The operator is a dense symmetric positive-definite matrix built from a
+fixed formula (no RNG): ``A[i,j] = 1/(1+|i-j|)^2`` off the diagonal with
+the row sum added on the diagonal — strictly diagonally dominant, hence
+SPD. Dense rows are the point: the matvec needs the *whole* search vector
+on every rank, so the allgather is essential, not an artifact.
+
+Two modes, as in the other apps:
+
+* ``compute_data=True`` — real numerics: each rank holds its row block
+  and the run's solution can be compared against :func:`cg_reference`;
+* ``compute_data=False`` — cost-model only: kernels charge simulated time
+  from the machine's ``cg_*`` rates and the collectives move equally
+  sized (zero) payloads, so communication behavior is identical at sizes
+  where dense numerics would dominate wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CGParams:
+    """One CG configuration (fixed iteration count — deterministic)."""
+
+    #: global unknowns; must be divisible by the rank count
+    n: int = 256
+    iterations: int = 10
+    #: real numerics (small n) vs cost-model only (large n)
+    compute_data: bool = True
+    #: >0 enables the eventually consistent allreduce for the dot
+    #: products (gaspi backend only): each rank may proceed missing up to
+    #: ``staleness`` contributions; the final residual stays exact
+    staleness: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.iterations < 1:
+            raise ValueError("n and iterations must be >= 1")
+        if self.staleness < 0:
+            raise ValueError("staleness must be >= 0")
+
+    def dof_iters(self, sim_time: float) -> float:
+        """Headline throughput: degree-of-freedom iterations per second."""
+        return self.n * self.iterations / sim_time if sim_time > 0 else 0.0
+
+
+def cg_matrix(n: int) -> np.ndarray:
+    """Deterministic dense SPD operator (module docstring)."""
+    i = np.arange(n, dtype=np.float64)
+    a = 1.0 / (1.0 + np.abs(i[:, None] - i[None, :])) ** 2
+    np.fill_diagonal(a, 0.0)
+    a[np.diag_indices(n)] = a.sum(axis=1) + 1.0
+    return a
+
+
+def cg_rhs(n: int) -> np.ndarray:
+    """Deterministic right-hand side."""
+    return np.sin(0.7 * np.arange(n, dtype=np.float64)) + 1.0
+
+
+def cg_reference(n: int, iterations: int):
+    """Serial numpy CG with the same fixed iteration count; returns
+    ``(x, residual_norm_sq)`` for comparison against data-mode runs."""
+    a = cg_matrix(n)
+    b = cg_rhs(n)
+    x = np.zeros(n)
+    r = b.copy()
+    p = r.copy()
+    rsold = float(r @ r)
+    for _ in range(iterations):
+        ap = a @ p
+        alpha = rsold / float(p @ ap)
+        x += alpha * p
+        r -= alpha * ap
+        rsnew = float(r @ r)
+        p = r + (rsnew / rsold) * p
+        rsold = rsnew
+    return x, rsold

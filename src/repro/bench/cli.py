@@ -75,8 +75,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         path = write_bench_json(name, payload, args.outdir)
         summary = f"{name:9s} {payload['throughput']:12,.0f} {payload['unit']}"
         if "speedup" in payload:
-            baseline = ("serial sweep" if name == "sweep"
-                        else "pre-overhaul baseline")
+            baseline = {"sweep": "serial sweep",
+                        "collectives": "two-sided allreduce"}.get(
+                            name, "pre-overhaul baseline")
             summary += f"  ({payload['speedup']:.2f}x vs {baseline})"
         print(f"{summary}  -> {path}")
         if not args.no_history:

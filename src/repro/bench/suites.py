@@ -1,6 +1,6 @@
 """The pinned microbenchmark suite behind ``python -m repro.bench``.
 
-Six benchmarks, each emitting one ``BENCH_<name>.json``:
+Seven benchmarks, each emitting one ``BENCH_<name>.json``:
 
 ``engine``
     Events/sec through :meth:`Engine.run` on three workloads, against the
@@ -51,6 +51,15 @@ Six benchmarks, each emitting one ``BENCH_<name>.json``:
     static determinism lint over ``src/``. The ``overhead_report`` ratio
     is the number to watch; the unchecked run doubles as the
     zero-cost-when-disabled regression guard against ``gs`` history.
+
+``collectives``
+    The three collective backends (two-sided trees, RMA fence+Get, GASPI
+    notification rings) head-to-head on *simulated* time: a large-message
+    allreduce per backend per rank count — asserting the GASPI ring beats
+    the two-sided tree at the largest scale, the package's acceptance
+    property — plus the CG mini-app swept over the harness ``backend=``
+    axis. The ``speedup`` ratio is deterministic (simulated seconds, not
+    wall), so the regression gate on it is exact.
 
 Methodology, applied uniformly: all object construction happens *outside*
 the timed region; every timed region is repeated ``reps`` times and the
@@ -535,5 +544,92 @@ def bench_analysis(quick: bool = False) -> dict:
         "per_checker_overhead": {k: v / wall_off
                                  for k, v in per_checker.items()},
         "lint_wall_s": lint_wall,
+        "quick": quick,
+    }
+
+
+# ----------------------------------------------------------------------
+# collectives
+# ----------------------------------------------------------------------
+@_register
+def bench_collectives(quick: bool = False) -> dict:
+    """Head-to-head of the three collective backends (docs/collectives.md).
+
+    Part 1 times a large-message allreduce per backend at every rank
+    count: the ``speedup`` metric (two-sided tree simulated time over the
+    GASPI notification ring's, largest rank count) is the gate number and
+    is asserted > 1 — the bandwidth argument the package exists to show.
+    Part 2 runs the CG mini-app (cost-model mode) through the harness
+    ``backend=`` axis at every rank count; ``throughput`` is the GASPI
+    CG figure at the largest scale. Simulated time is the measured
+    quantity throughout, so the comparison is host-independent.
+    """
+    import numpy as np
+
+    from repro.apps.cg import CGParams, run_cg
+    from repro.collectives import make_collectives
+    from repro.harness.machines import MARENOSTRUM4
+    from repro.harness.runner import JobSpec, build_job
+    from repro.harness.sweep import run_variants
+
+    backends = ("twosided", "rma", "gaspi")
+    if quick:
+        cores, node_counts = 2, (1, 2, 4, 8)     # 2..16 ranks
+        m, reps = 65536, 1
+        cg_params = CGParams(n=2048, iterations=3, compute_data=False)
+    else:
+        cores, node_counts = 4, (1, 2, 4, 8)     # 4..32 ranks
+        m, reps = 65536, 2
+        cg_params = CGParams(n=4096, iterations=8, compute_data=False)
+    machine = MARENOSTRUM4.with_cores(cores)
+
+    def allreduce_time(backend: str, n_nodes: int) -> float:
+        spec = JobSpec(machine=machine, n_nodes=n_nodes, variant="mpi",
+                       backend=backend)
+        job = build_job(spec)
+        colls = make_collectives(job, max_reduce_elems=m)
+        data = np.ones(m)
+
+        def factory(r, drv):
+            def main(drv):
+                for _ in range(reps):
+                    yield from colls[r].allreduce(data)
+                yield from drv.compute(0.0)
+            return drv.spawn(main)
+
+        sim = job.run([factory(r, job.drivers[r])
+                       for r in range(spec.n_ranks)])
+        return sim / reps
+
+    t0 = time.perf_counter()
+    allreduce = {b: {str(cores * nn): allreduce_time(b, nn)
+                     for nn in node_counts} for b in backends}
+    largest = str(cores * node_counts[-1])
+    speedup = allreduce["twosided"][largest] / allreduce["gaspi"][largest]
+    assert speedup > 1.0, (
+        f"gaspi notification allreduce must beat the two-sided tree for "
+        f"large messages ({m} elems, {largest} ranks): {allreduce}")
+
+    cg: Dict[str, Dict[str, float]] = {b: {} for b in backends}
+    for nn in node_counts:
+        res = run_variants(run_cg, machine, nn, cg_params,
+                           variants=("mpi",), backend=list(backends))
+        for b in backends:
+            cg[b][str(cores * nn)] = res["mpi"][b].throughput
+    wall = time.perf_counter() - t0
+
+    return {
+        "name": "collectives",
+        "unit": "GDoF-iters/s (cg, gaspi)",
+        "backends": list(backends),
+        "rank_counts": [cores * nn for nn in node_counts],
+        "allreduce_elems": m,
+        "allreduce_sim_s": allreduce,
+        "speedup": speedup,
+        "cg_n": cg_params.n,
+        "cg_iterations": cg_params.iterations,
+        "cg_throughput": cg,
+        "throughput": cg["gaspi"][largest],
+        "wall_s": wall,
         "quick": quick,
     }

@@ -1,0 +1,351 @@
+"""GASPI segment + notification pipeline collectives.
+
+Everything here is built from ``gaspi_write_notify`` / ``gaspi_notify``
+and notification consumption on one pre-registered segment per rank — the
+substrate the paper argues for: data movement is one-sided, and the
+*notification* is the only synchronization token (its consumption is also
+the only remote-ordering edge the RMA race detector of ``repro.analysis``
+recognizes, so the slot discipline below is what keeps ``check=strict``
+clean).
+
+Algorithms:
+
+* ``barrier``   — dissemination with data-free ``notify``; its round ids
+  are double-buffered on the barrier-epoch parity, which is safe because
+  completing a dissemination barrier proves every rank *entered* it, and
+  entering proves the previous same-parity epoch was fully consumed.
+* ``allreduce`` — ring reduce-scatter + ring allgather of the reduced
+  chunks: per-rank traffic ``~2m`` bytes versus the two-sided tree's
+  ``m*log2(n)``, which is why this pipeline wins for large messages
+  (the acceptance check in ``bench_collectives``).
+* ``allgather`` — ring, blocks landing one-sided in their final slot.
+* ``bcast``     — binomial tree of ``write_notify``.
+* ``ec_allreduce`` / ``ec_fence`` — the eventually consistent allreduce
+  (Iakymchuk et al., arXiv:2203.17063): every rank writes its round-``k``
+  contribution to per-``(round, source)`` slots on all peers, then reduces
+  with whatever has arrived, tolerating up to ``staleness`` missing
+  contributions. Nothing is ever overwritten (rounds get fresh slots up to
+  the declared ``ec_rounds`` capacity), so stale reads are impossible and
+  ``ec_fence`` restores exactness by consuming the stragglers.
+
+Slot-reuse discipline: every *exact* collective starts with the
+notification barrier, which proves all ranks completed every earlier
+epoch and consumed its notifications — so the single-buffered data slots
+and notification ids of each region are free again. No slot is written
+twice within one epoch, no notification id is re-posted before its
+consumption: by construction the detector sees neither lost updates nor
+lost notifications. Outgoing payloads are staged through a scratch region
+of the local segment (GASPI reads the source from segment memory; the
+simulator copies at submit time, modeling a synchronous local copy).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+import numpy as np
+
+from repro.collectives.base import (
+    Collectives,
+    CollectiveError,
+    check_cap,
+    check_root,
+    coerce,
+)
+from repro.gaspi.proc import GaspiRank
+
+#: segment id claimed by the collectives library (apps use low ids)
+SEG_COLL = 64
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class GaspiCollectives(Collectives):
+    """Per-rank handle over a :class:`GaspiRank` with one pre-registered
+    collective segment. Caps size the segment regions; exceeding one
+    raises :class:`~repro.collectives.base.CollectiveError`."""
+
+    backend = "gaspi"
+
+    def __init__(self, gaspi_rank: GaspiRank, *,
+                 max_reduce_elems: int = 64,
+                 max_gather_elems: int = 64,
+                 max_bcast_elems: int = 64,
+                 ec_rounds: int = 64,
+                 ec_elems: int = 4,
+                 seg_id: int = SEG_COLL,
+                 queue: int = 0):
+        super().__init__(gaspi_rank.engine, gaspi_rank.rank,
+                         gaspi_rank.context.n_ranks)
+        self.g = gaspi_rank
+        self.seg = seg_id
+        self.queue = queue
+        n = self.n
+        self.max_reduce = max(int(max_reduce_elems), 1)
+        self.max_gather = max(int(max_gather_elems), 1)
+        self.max_bcast = max(int(max_bcast_elems), 1)
+        self.ec_rounds = max(int(ec_rounds), 0)
+        self.ec_elems = max(int(ec_elems), 1)
+        self.chunk = _ceil_div(self.max_reduce, n)
+
+        # element offsets of the segment regions
+        stage = max(self.chunk, self.max_gather, self.max_bcast, self.ec_elems)
+        self.off_stage = 0
+        self.off_rs = stage                                   # (n-1) ring scratch
+        self.off_red = self.off_rs + (n - 1) * self.chunk     # n reduced chunks
+        self.off_ag = self.off_red + n * self.chunk           # n gather blocks
+        self.off_bc = self.off_ag + n * self.max_gather       # 1 bcast payload
+        self.off_ec = self.off_bc + self.max_bcast            # ec_rounds * n
+        total = self.off_ec + self.ec_rounds * n * self.ec_elems
+
+        # notification id blocks (one namespace per segment)
+        self.nid_bar = 0                       # 2 * rounds, parity-buffered
+        bar_rounds = max(n - 1, 1).bit_length()
+        self.nid_rs = 2 * bar_rounds           # n-1 ring steps
+        self.nid_red = self.nid_rs + max(n - 1, 1)
+        self.nid_ag = self.nid_red + n
+        self.nid_bc = self.nid_ag + n
+        self.nid_ec = self.nid_bc + 1
+
+        self._bar_rounds = bar_rounds
+        self._bar_epoch = 0
+        self._ec_round = 0
+        #: per-round sets of source ranks already consumed (ec bookkeeping)
+        self._ec_seen: List[set] = []
+        #: my own per-round contributions (for exactness at the fence)
+        self._ec_mine: List[np.ndarray] = []
+        #: per-round reduction operators (the fence replays them exactly)
+        self._ec_ops: List = []
+        #: per-round count of contributions missing from the partial result
+        self.ec_missing: List[int] = []
+        self._array = np.zeros(total, dtype=np.float64)
+        gaspi_rank.segment_register(seg_id, self._array)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _stage(self, data: np.ndarray) -> int:
+        """Copy outgoing data into the scratch region; returns its offset.
+        Safe to reuse immediately: submission snapshots the source."""
+        self._array[self.off_stage:self.off_stage + data.size] = data
+        return self.off_stage
+
+    def _wait_notify(self, nid: int) -> Generator:
+        """Consume exactly notification ``nid`` (blocking)."""
+        got, val = yield from self.g.notify_waitsome(self.seg, nid, 1)
+        return val
+
+    def _recv_view(self, off: int, count: int) -> np.ndarray:
+        """Declare a read of a landing slot (race-detector edge) and
+        return its view."""
+        self.g.segment_access(self.seg, off, count, "read")
+        return self._array[off:off + count]
+
+    # ------------------------------------------------------------------
+    # barrier: dissemination over data-free notifications
+    # ------------------------------------------------------------------
+    def _barrier(self) -> Generator:
+        n, r = self.n, self.rank
+        if n == 1:
+            return
+        parity = self._bar_epoch % 2
+        self._bar_epoch += 1
+        k, round_ = 1, 0
+        while k < n:
+            dst = (r + k) % n
+            nid = self.nid_bar + parity * self._bar_rounds + round_
+            self.g.notify(dst, self.seg, nid, 1, queue=self.queue)
+            yield from self._wait_notify(nid)
+            k *= 2
+            round_ += 1
+
+    # ------------------------------------------------------------------
+    # ring allreduce: reduce-scatter + allgather of reduced chunks
+    # ------------------------------------------------------------------
+    def _allreduce(self, arr: np.ndarray, op) -> Generator:
+        check_cap(arr.size, self.max_reduce, "gaspi allreduce")
+        n, r, m = self.n, self.rank, arr.size
+        if n == 1:
+            return arr.copy()
+        yield from self._barrier()  # frees this epoch's slots (module doc)
+        g, chunk = self.g, _ceil_div(m, n)
+        padded = np.zeros(n * chunk, dtype=np.float64)
+        padded[:m] = arr
+        acc = padded  # local working copy; never exposed to the wire
+        right = (r + 1) % n
+
+        # phase 1 — reduce-scatter: after step s every rank owns the
+        # partial sum of chunk (r - s) over ranks r-s..r
+        for s in range(n - 1):
+            c_send = (r - s) % n
+            off = self._stage(acc[c_send * chunk:(c_send + 1) * chunk])
+            g.write_notify(self.seg, off, right, self.seg,
+                           self.off_rs + s * self.chunk, chunk,
+                           self.nid_rs + s, s + 1, queue=self.queue)
+            yield from self._wait_notify(self.nid_rs + s)
+            incoming = self._recv_view(self.off_rs + s * self.chunk, chunk)
+            c_recv = (r - 1 - s) % n
+            blk = acc[c_recv * chunk:(c_recv + 1) * chunk]
+            blk[:] = np.asarray(op(blk, incoming), dtype=np.float64)
+
+        # phase 2 — ring allgather of the fully reduced chunks, landing
+        # one-sided in their final slot of the red region
+        c_own = (r + 1) % n
+        red = self._array[self.off_red:self.off_red + n * chunk]
+        g.segment_access(self.seg, self.off_red + c_own * chunk, chunk, "write")
+        red[c_own * chunk:(c_own + 1) * chunk] = acc[c_own * chunk:(c_own + 1) * chunk]
+        for s in range(n - 1):
+            c_send = (r + 1 - s) % n
+            off = self._stage(red[c_send * chunk:(c_send + 1) * chunk])
+            c_recv = (r - s) % n
+            g.write_notify(self.seg, off, right, self.seg,
+                           self.off_red + c_send * chunk, chunk,
+                           self.nid_red + c_send, c_send + 1, queue=self.queue)
+            yield from self._wait_notify(self.nid_red + c_recv)
+            self._recv_view(self.off_red + c_recv * chunk, chunk)
+        g.segment_access(self.seg, self.off_red, n * chunk, "read")
+        return red[:m].copy()
+
+    # ------------------------------------------------------------------
+    def _allgather(self, arr: np.ndarray) -> Generator:
+        check_cap(arr.size, self.max_gather, "gaspi allgather")
+        n, r, m = self.n, self.rank, arr.size
+        out_local = np.empty(n * m, dtype=np.float64)
+        out_local[r * m:(r + 1) * m] = arr
+        if n == 1:
+            return out_local
+        yield from self._barrier()
+        g, right = self.g, (r + 1) % n
+        ag = self._array[self.off_ag:self.off_ag + n * self.max_gather]
+        g.segment_access(self.seg, self.off_ag + r * self.max_gather, m, "write")
+        ag[r * self.max_gather:r * self.max_gather + m] = arr
+        for s in range(n - 1):
+            j_send = (r - s) % n
+            j_recv = (r - 1 - s) % n
+            off = self._stage(
+                ag[j_send * self.max_gather:j_send * self.max_gather + m])
+            g.write_notify(self.seg, off, right, self.seg,
+                           self.off_ag + j_send * self.max_gather, m,
+                           self.nid_ag + j_send, j_send + 1, queue=self.queue)
+            yield from self._wait_notify(self.nid_ag + j_recv)
+            block = self._recv_view(self.off_ag + j_recv * self.max_gather, m)
+            out_local[j_recv * m:(j_recv + 1) * m] = block
+        return out_local
+
+    # ------------------------------------------------------------------
+    def _bcast(self, arr: np.ndarray, root: int) -> Generator:
+        check_root(root, self.n)
+        check_cap(arr.size, self.max_bcast, "gaspi bcast")
+        n, r, m = self.n, self.rank, arr.size
+        if n == 1:
+            return arr.copy()
+        yield from self._barrier()
+        g = self.g
+        vrank = (r - root) % n
+        if vrank == 0:
+            data = arr.copy()
+        else:
+            yield from self._wait_notify(self.nid_bc)
+            data = self._recv_view(self.off_bc, m).copy()
+        # forward to children at lower bit positions (binomial tree)
+        mask = 1
+        while mask < n and not vrank & mask:
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < n:
+                child = (vrank + mask + root) % n
+                off = self._stage(data)
+                g.write_notify(self.seg, off, child, self.seg, self.off_bc,
+                               m, self.nid_bc, 1, queue=self.queue)
+            mask >>= 1
+        return data
+
+    # ------------------------------------------------------------------
+    # eventually consistent allreduce
+    # ------------------------------------------------------------------
+    def ec_allreduce(self, value, op=np.add, staleness: int = 0) -> Generator:
+        """One eventually consistent reduction round (module docstring).
+
+        Yields a partial result missing at most ``staleness`` of the
+        ``n_ranks - 1`` remote contributions; the missing ones keep their
+        slots and are folded in exactly by :meth:`ec_fence`.
+        """
+        if not 0 <= staleness < max(self.n, 1):
+            raise CollectiveError(
+                f"staleness must be in [0, n_ranks), got {staleness}")
+        arr = coerce(value)
+        check_cap(arr.size, self.ec_elems, "gaspi ec_allreduce")
+        if self._ec_round >= self.ec_rounds:
+            raise CollectiveError(
+                f"ec_allreduce round {self._ec_round} exceeds the declared "
+                f"ec_rounds={self.ec_rounds} capacity; call ec_fence() less "
+                "often or raise the cap in make_collectives()")
+        t0 = self.engine.now
+        n, r, m = self.n, self.rank, arr.size
+        round_ = self._ec_round
+        self._ec_round += 1
+        self._ec_mine.append(arr.copy())
+        self._ec_ops.append(op)
+        self._ec_seen.append(set())
+        g = self.g
+        # push my contribution to everyone's (round, me) slot
+        off = self._stage(arr)
+        slot = self._ec_slot(round_, r)
+        for dst in range(n):
+            if dst == r:
+                continue
+            g.write_notify(self.seg, off, dst, self.seg, slot, m,
+                           self.nid_ec + round_ * n + r, r + 1,
+                           queue=self.queue)
+        # reduce with whatever arrives, up to the staleness bound
+        need = max(n - 1 - staleness, 0)
+        val = arr.copy()
+        seen = self._ec_seen[round_]
+        base = self.nid_ec + round_ * n
+        while len(seen) < need:
+            nid, _ = yield from g.notify_waitsome(self.seg, base, n)
+            src = nid - base
+            seen.add(src)
+            block = self._recv_view(self._ec_slot(round_, src), m)
+            val = np.asarray(op(val, block), dtype=np.float64)
+        self.ec_missing.append(n - 1 - len(seen))
+        self._trace("ec_allreduce", t0, m)
+        return val
+
+    def ec_fence(self) -> Generator:
+        """Consume every outstanding contribution and yield the exact
+        reduction of *every* ec round so far (list of arrays, in round
+        order). Exactness needs all peers to have issued the same rounds —
+        the usual collective matching contract."""
+        t0 = self.engine.now
+        n, g = self.n, self.g
+        exact: List[np.ndarray] = []
+        for round_ in range(self._ec_round):
+            seen = self._ec_seen[round_]
+            base = self.nid_ec + round_ * n
+            for src in range(n):
+                if src == self.rank or src in seen:
+                    continue
+                yield from self._wait_notify(base + src)
+                seen.add(src)
+            m = self._ec_mine[round_].size
+            val = self._ec_mine[round_].copy()
+            op = self._ec_ops[round_]
+            for src in sorted(seen):  # fixed order: deterministic rounding
+                block = self._recv_view(self._ec_slot(round_, src), m)
+                val = np.asarray(op(val, block), dtype=np.float64)
+            exact.append(val)
+        self._trace("ec_fence", t0, 0)
+        return exact
+
+    def _ec_slot(self, round_: int, src: int) -> int:
+        return self.off_ec + (round_ * self.n + src) * self.ec_elems
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, context, **caps) -> List["GaspiCollectives"]:
+        """One handle per rank, segments registered collectively."""
+        return [cls(context.rank(r), **caps) for r in range(context.n_ranks)]

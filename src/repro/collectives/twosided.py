@@ -1,0 +1,113 @@
+"""Two-sided tree/ring collectives over ``repro.mpi`` point-to-point.
+
+The classical baselines every one-sided design is measured against:
+
+* ``barrier``  — the dissemination barrier :meth:`MPIRank.barrier` already
+  implements (log2 n rounds of zero-byte messages);
+* ``bcast``    — :meth:`MPIRank.bcast`'s binomial tree;
+* ``allreduce`` — recursive doubling with the Rabenseifner-style fold for
+  non-power-of-two rank counts: the first ``2*rem`` ranks pair up so a
+  power-of-two group runs the log2 rounds, then partners are unfolded.
+  Every round moves the *full* vector, so the per-rank traffic is
+  ``m * log2(n)`` — the term the GASPI ring's ``~2m`` beats for large
+  messages (docs/collectives.md);
+* ``allgather`` — bandwidth-optimal ring (n-1 steps of one block each).
+
+Tags come from :meth:`MPIRank.coll_tags`, which keeps the rounds matched
+across ranks and disjoint from the built-in collectives' tag blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.collectives.base import Collectives, check_root
+from repro.mpi.comm import MPIRank
+
+
+class TwoSidedCollectives(Collectives):
+    """Per-rank handle over an :class:`MPIRank`."""
+
+    backend = "twosided"
+
+    def __init__(self, mpi_rank: MPIRank):
+        super().__init__(mpi_rank.engine, mpi_rank.rank, mpi_rank.context.n_ranks)
+        self.mpi = mpi_rank
+
+    # ------------------------------------------------------------------
+    def _barrier(self) -> Generator:
+        yield from self.mpi.barrier()
+
+    def _bcast(self, arr: np.ndarray, root: int) -> Generator:
+        check_root(root, self.n)
+        out = yield from self.mpi.bcast(arr.copy(), root)
+        return out
+
+    def _allgather(self, arr: np.ndarray) -> Generator:
+        n, r, m = self.n, self.rank, arr.size
+        out = np.empty(n * m, dtype=np.float64)
+        out[r * m:(r + 1) * m] = arr
+        if n == 1:
+            return out
+        tags = self.mpi.coll_tags(n - 1)
+        right, left = (r + 1) % n, (r - 1) % n
+        for s in range(n - 1):
+            j_send = (r - s) % n
+            j_recv = (r - 1 - s) % n
+            sreq = self.mpi.isend(out[j_send * m:(j_send + 1) * m], right, tags[s])
+            rreq = self.mpi.irecv(out[j_recv * m:(j_recv + 1) * m], left, tags[s])
+            yield from self.mpi.waitall([sreq, rreq])
+        return out
+
+    def _allreduce(self, arr: np.ndarray, op) -> Generator:
+        n, r = self.n, self.rank
+        if n == 1:
+            return arr.copy()
+        pof2 = 1 << (n.bit_length() - 1)  # largest power of two <= n
+        rem = n - pof2
+        log2p = pof2.bit_length() - 1
+        # one tag per possible round: fold + log2 doubling rounds + unfold
+        tags = self.mpi.coll_tags(log2p + 2)
+        t_unfold = log2p + 1
+        val = arr.copy()
+        tmp = np.empty_like(val)
+
+        # fold: ranks < 2*rem pair up; evens hand their vector to the odd
+        # partner and sit out the doubling rounds
+        if r < 2 * rem:
+            if r % 2 == 0:
+                sreq = self.mpi.isend(val, r + 1, tags[0])
+                yield from self.mpi.wait(sreq)
+                newr = -1
+            else:
+                rreq = self.mpi.irecv(tmp, r - 1, tags[0])
+                yield from self.mpi.wait(rreq)
+                val = np.asarray(op(val, tmp), dtype=np.float64)
+                newr = r // 2
+        else:
+            newr = r - rem
+
+        if newr != -1:
+            mask = 1
+            round_ = 1
+            while mask < pof2:
+                peer_v = newr ^ mask
+                peer = peer_v * 2 + 1 if peer_v < rem else peer_v + rem
+                sreq = self.mpi.isend(val, peer, tags[round_])
+                rreq = self.mpi.irecv(tmp, peer, tags[round_])
+                yield from self.mpi.waitall([sreq, rreq])
+                val = np.asarray(op(val, tmp), dtype=np.float64)
+                mask <<= 1
+                round_ += 1
+
+        # unfold: odd partners send the finished vector back to the evens
+        if r < 2 * rem:
+            if r % 2 == 1:
+                sreq = self.mpi.isend(val, r - 1, tags[t_unfold])
+                yield from self.mpi.wait(sreq)
+            else:
+                rreq = self.mpi.irecv(val, r + 1, tags[t_unfold])
+                yield from self.mpi.wait(rreq)
+        return val

@@ -25,7 +25,12 @@ from repro.harness.parallel import (
     cache_key,
 )
 from repro.harness.report import format_table, format_series
-from repro.harness.sweep import run_variants, fault_sweep_table
+from repro.harness.sweep import (
+    SweepAxis,
+    fault_sweep_table,
+    register_axis,
+    run_variants,
+)
 
 __all__ = [
     "Machine",
@@ -49,4 +54,6 @@ __all__ = [
     "format_series",
     "run_variants",
     "fault_sweep_table",
+    "SweepAxis",
+    "register_axis",
 ]

@@ -72,6 +72,12 @@ MARENOSTRUM4 = Machine(
         "stream_elem": 1.4e-9,
         # memcpy-style buffer staging per element (8B)
         "copy": 0.35e-9,
+        # CG dense row-block matvec per (row, col) pair
+        "cg_spmv": 1.1e-9,
+        # CG vector update (axpy) per element
+        "cg_axpy": 0.5e-9,
+        # CG local dot product per element
+        "cg_dot": 0.4e-9,
     },
     compute_jitter=0.05,
 )
@@ -89,6 +95,9 @@ CTE_AMD = Machine(
         "amr_agree": 0.45e-6,
         "stream_elem": 1.2e-9,
         "copy": 0.30e-9,
+        "cg_spmv": 1.0e-9,
+        "cg_axpy": 0.45e-9,
+        "cg_dot": 0.35e-9,
     },
     compute_jitter=0.07,
 )

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.analysis.pipeline import AnalysisPipeline
+from repro.collectives.base import BACKENDS
 from repro.core import TAGASPI
 from repro.faults import FaultInjector, FaultPlan, FaultReport
 from repro.gaspi import GaspiContext
@@ -72,10 +73,20 @@ class JobSpec:
     #: ``perf_*`` metrics into ``VariantResult.extra``. Tracing is passive,
     #: so a ``perf=True`` run is bit-identical in sim time to a plain one.
     perf: bool = False
+    #: collective-communication substrate for apps built on
+    #: ``repro.collectives`` (``"twosided"``, ``"rma"``, ``"gaspi"``;
+    #: ``None`` leaves the choice to the app, which defaults to
+    #: ``twosided``). ``backend="gaspi"`` jobs get a GASPI context even
+    #: under the pure-``mpi`` variant so notification pipelines are
+    #: available to single-threaded rank processes.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
             raise VariantError(f"variant must be one of {VARIANTS}, got {self.variant!r}")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise VariantError(
+                f"backend must be None or one of {BACKENDS}, got {self.backend!r}")
         if self.check not in (None, "report", "strict"):
             raise VariantError(
                 f"check must be None, 'report', or 'strict', got {self.check!r}")
@@ -176,6 +187,12 @@ class Job:
                           recovery=recovery)
                     for r in range(spec.n_ranks)
                 ]
+
+        # the gaspi collective backend needs segments/notifications even in
+        # variants that otherwise carry no GASPI context; created here so
+        # the analysis pipeline and metrics collectors below see it
+        if spec.backend == "gaspi" and self.gaspi is None:
+            self.gaspi = GaspiContext(self.cluster, n_queues=spec.n_queues)
 
         #: correctness-checker pipeline (spec.check != None); findings are
         #: on ``analysis.findings`` / ``analysis.warnings`` after run()

@@ -317,6 +317,27 @@ class MPIRank:
         # 64 rounds per collective epoch is far more than dissemination needs
         return COLLECTIVE_TAG_BASE + (self._coll_seq % (1 << 16)) * 64 + round_
 
+    def coll_tags(self, rounds: int) -> List[int]:
+        """Reserve ``rounds`` matched collective tags and advance this
+        rank's collective sequence number.
+
+        External collective algorithms (``repro.collectives.twosided``)
+        build on point-to-point and need per-round tags that match across
+        ranks without colliding with the built-in collectives: as long as
+        every rank makes the same collective calls in the same order (the
+        MPI contract), the sequence numbers stay aligned and round ``i``
+        maps to the same tag everywhere. Blocks of 64 tags are consumed
+        per epoch, so ``rounds > 64`` simply reserves several epochs.
+        """
+        if rounds < 1:
+            raise MPIError(f"coll_tags needs rounds >= 1, got {rounds}")
+        tags: List[int] = []
+        while len(tags) < rounds:
+            take = min(rounds - len(tags), 64)
+            tags.extend(self._coll_tag(i) for i in range(take))
+            self._coll_seq += 1
+        return tags
+
     def barrier(self) -> Generator:
         """Dissemination barrier (log2 rounds of zero-byte messages)."""
         n = self.context.n_ranks

@@ -219,3 +219,62 @@ class TestPerfDeterminism:
                      if k.startswith("perf_")}
         assert perf_keys == {k: v for k, v in b.extra.items()
                              if k.startswith("perf_")}
+
+
+class TestCollectiveBackendDeterminism:
+    """The collectives subsystem joins the repo-wide contract: every
+    backend is pure in (spec, params), bit-identical between serial and
+    sharded sweeps, and pure in (plan, seed) under fault injection."""
+
+    def _params(self):
+        from repro.apps.cg import CGParams
+
+        return CGParams(n=48, iterations=5)
+
+    @pytest.mark.parametrize("backend", ["twosided", "rma", "gaspi"])
+    def test_backend_identical_across_runs(self, backend):
+        from repro.apps.cg import run_cg
+
+        spec = JobSpec(machine=MACH4, n_nodes=2, variant="mpi",
+                       backend=backend, seed=11)
+        a, b = run_cg(spec, self._params()), run_cg(spec, self._params())
+        assert a.sim_time == b.sim_time
+        assert a.extra["residual"] == b.extra["residual"]
+        assert a.extra["messages"] == b.extra["messages"]
+
+    def test_backend_sweep_serial_vs_parallel_bit_identical(self):
+        from repro.apps.cg import run_cg
+        from repro.harness import run_variants
+
+        def sweep(workers):
+            return run_variants(run_cg, MACH4, 1, self._params(),
+                                variants=("mpi",), workers=workers,
+                                backend=["twosided", "rma", "gaspi"])
+
+        serial, sharded = sweep(1), sweep(2)
+        for key, res in serial["mpi"].items():
+            other = sharded["mpi"][key]
+            assert res.sim_time == other.sim_time
+            assert res.extra["residual"] == other.extra["residual"]
+
+    @pytest.mark.parametrize("backend", ["twosided", "gaspi"])
+    def test_faulted_backend_pure_in_plan_and_seed(self, backend):
+        from repro.apps.cg import run_cg
+
+        spec = JobSpec(machine=MACH4, n_nodes=2, variant="mpi",
+                       backend=backend, faults=FaultPlan.severe(), seed=5)
+        a, b = run_cg(spec, self._params()), run_cg(spec, self._params())
+        assert a.sim_time == b.sim_time
+        assert a.extra["fault_injected"] == b.extra["fault_injected"]
+        assert a.extra["residual"] == b.extra["residual"]
+
+    def test_ec_allreduce_identical_across_runs(self):
+        from repro.apps.cg import CGParams, run_cg
+
+        params = CGParams(n=48, iterations=5, staleness=1)
+        spec = JobSpec(machine=MACH4, n_nodes=2, variant="mpi",
+                       backend="gaspi", seed=13)
+        a, b = run_cg(spec, params), run_cg(spec, params)
+        assert a.sim_time == b.sim_time
+        assert a.extra["residual"] == b.extra["residual"]
+        assert a.extra["ec_missing"] == b.extra["ec_missing"]

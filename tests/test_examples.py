@@ -15,6 +15,7 @@ EXAMPLES = [
     "examples/racy_put.py",
     "examples/deadlock_cycle.py",
     "examples/perf_diagnosis.py",
+    "examples/cg_collectives.py",
 ]
 
 
