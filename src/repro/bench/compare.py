@@ -31,9 +31,11 @@ from typing import Any, Dict, List, Optional
 #: regression threshold: fail when fresh/baseline drops below 1 - threshold
 DEFAULT_THRESHOLD = 0.15
 #: noisier suites get more slack: the sweep benchmark measures a process
-#: pool whose win depends on host load and core count, and the engine
-#: speedup ratio moves with interpreter cache state in quick mode
-SUITE_THRESHOLDS = {"sweep": 0.30, "engine": 0.25}
+#: pool whose win depends on host load and core count, the engine
+#: speedup ratio moves with interpreter cache state in quick mode, and
+#: the nic batch-vs-scalar ratio swings with numpy dispatch overhead on
+#: the small quick-mode batches
+SUITE_THRESHOLDS = {"sweep": 0.30, "engine": 0.25, "nic": 0.35}
 
 
 def threshold_for(name: str, override: Optional[float] = None) -> float:

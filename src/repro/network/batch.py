@@ -1,0 +1,209 @@
+"""Array-native NIC wire path (structure-of-arrays message batches).
+
+:func:`send_batch` injects a whole batch of messages that share one
+(src_rank, dst_rank, protocol) channel in a handful of vectorized passes
+instead of one :meth:`Cluster.send` call per message. It is the producer
+side of the batched engine's *timeline lane*: delivery events are built in
+bulk and handed to :meth:`Engine.schedule_batch` as one sorted block.
+
+Bit-exactness contract
+----------------------
+
+``send_batch(cluster, msgs)`` is observably identical to
+``[cluster.send(m) for m in msgs]`` — same local-completion times, same
+delivery times, same delivery order (the batch consumes the same ``seq``
+numbers in the same order), same :class:`NetworkStats` and
+:class:`LockStats` values to the last bit, and the same RNG stream when
+jitter is enabled. That requires care with floating point, because ``a +
+(b + c) != (a + b) + c``:
+
+* **Egress FIFO is an exact running sum.** All messages are injected at
+  the same ``now``, so after the first grant the device is saturated and
+  each grant starts where the previous one ended. ``np.cumsum`` over
+  ``[max(now, busy), ser_0, ser_1, ...]`` performs the *same* sequential
+  left-to-right additions as the scalar loop, so the grant ends match bit
+  for bit.
+* **Ingress FIFO is a Python scan.** Arrival times are not uniform, so
+  the recurrence ``busy = max(arrive, busy) + ser`` cannot be reassociated
+  into a vector form without changing rounding; a short Python loop
+  mirrors :meth:`SerialDevice.use` exactly.
+* **Float accumulators are updated sequentially.** Wait/hold/transit
+  statistics add per-message terms in message order, exactly as the
+  scalar path does; only integer counters use vectorized sums.
+* **Delivery times round-trip through ``now``.** The scalar path fires
+  deliveries via ``succeed(delay=arrive - now)``, which the engine turns
+  back into ``now + (arrive - now)``; the batch applies the identical
+  round-trip elementwise before calling ``schedule_batch``.
+
+When a batch does not qualify for this path (mixed channels, active
+tracer/analysis/fault-injector, node-local and remote messages mixed),
+:meth:`Cluster.send_batch` falls back to the exact per-message loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.network.message import Message
+
+
+def batch_eligible(cluster, msgs: Sequence[Message]) -> bool:
+    """True if ``msgs`` can take the vectorized wire path.
+
+    Requirements: a non-empty batch on a single (src_rank, dst_rank,
+    protocol) channel, no tracer, no analysis pipeline, and no active
+    fault plan — each of those hooks observes individual sends, so such
+    batches fall back to the exact per-message loop.
+    """
+    if not msgs:
+        return False
+    eng = cluster.engine
+    if eng.tracer.enabled or eng.analysis.enabled:
+        return False
+    if cluster.injector is not None and cluster.injector.active:
+        return False
+    m0 = msgs[0]
+    src, dst, proto = m0.src_rank, m0.dst_rank, m0.protocol
+    return all(
+        m.src_rank == src and m.dst_rank == dst and m.protocol == proto
+        for m in msgs
+    )
+
+
+def send_batch(cluster, msgs: Sequence[Message],
+               depart_delay: float = 0.0) -> np.ndarray:
+    """Vectorized single-channel batch send; see the module docstring.
+
+    Returns the per-message local-completion times (the scalar
+    :meth:`Cluster.send` return values) as a float64 array. Callers must
+    have checked :func:`batch_eligible` first.
+    """
+    eng = cluster.engine
+    fab = cluster.fabric
+    now = eng.now + depart_delay
+    n = len(msgs)
+    m0 = msgs[0]
+    src_node = cluster.node_of(m0.src_rank)
+    dst_node = cluster.node_of(m0.dst_rank)
+    intra = src_node == dst_node
+
+    nbytes = np.empty(n, dtype=np.float64)
+    for i, m in enumerate(msgs):
+        m.injected_at = now
+        nbytes[i] = m.nbytes
+
+    if intra:
+        copy = fab.serialization_batch(nbytes, intra=True)
+        local_done = now + copy
+        arrive = local_done + fab.base_latency(intra=True)
+    else:
+        bw_factor = fab.cost(f"{m0.protocol}.bw_factor", 1.0)
+        ser = fab.serialization_batch(nbytes, intra=False) / bw_factor
+        # --- egress: saturated FIFO == exact running sum ---------------
+        egress = cluster.nodes[src_node].egress
+        base = now if now >= egress.busy_until else egress.busy_until
+        ends = np.cumsum(np.concatenate(([base], ser)))
+        starts = ends[:-1]
+        ends = ends[1:]
+        egress.busy_until = float(ends[-1])
+        est = egress.stats
+        est.acquisitions += n
+        wait_sum = est.total_wait_time
+        hold_sum = est.total_hold_time
+        contended = 0
+        ser_list = ser.tolist()
+        for s_t, s in zip(starts.tolist(), ser_list):
+            w = s_t - now
+            if w > 0.0:
+                contended += 1
+                wait_sum += w
+            hold_sum += s
+        est.contended_acquisitions += contended
+        est.total_wait_time = wait_sum
+        est.total_hold_time = hold_sum
+        local_done = ends
+
+        # --- wire latency (scalar jitter scan keeps the RNG order) -----
+        lat0 = (fab.base_latency(intra=False)
+                + fab.cost(f"{m0.protocol}.lat_extra", 0.0))
+        if cluster.rng is None:
+            wire_arrive = ends + lat0
+        else:
+            jit = [cluster._jitter(m0.protocol) for _ in range(n)]
+            wire_arrive = ends + (lat0 + np.asarray(jit, dtype=np.float64))
+
+        # --- ingress: exact Python scan of the FIFO recurrence ---------
+        ingress = cluster.nodes[dst_node].ingress
+        busy = ingress.busy_until
+        ist = ingress.stats
+        iwait = ist.total_wait_time
+        ihold = ist.total_hold_time
+        icont = 0
+        arrive_l: List[float] = []
+        append = arrive_l.append
+        for a, s in zip(wire_arrive.tolist(), ser_list):
+            start = a if a >= busy else busy
+            w = start - a
+            if w > 0.0:
+                icont += 1
+                iwait += w
+            ihold += s
+            busy = start + s
+            append(busy)
+        ingress.busy_until = busy
+        ist.acquisitions += n
+        ist.contended_acquisitions += icont
+        ist.total_wait_time = iwait
+        ist.total_hold_time = ihold
+        arrive = np.asarray(arrive_l, dtype=np.float64)
+
+    # --- per-channel FIFO floor ----------------------------------------
+    # Ingress grant ends are non-decreasing (the device never un-busies)
+    # and intra arrivals may not be, so the scalar clock recurrence
+    # ``floor = max(arrive, floor)`` is an exact max-scan. max() does not
+    # round, so np.maximum.accumulate matches the scalar loop bit-for-bit.
+    chan = (m0.src_rank, m0.dst_rank)
+    floor0 = cluster._channel_clock.get(chan, 0.0)
+    np.maximum.accumulate(arrive, out=arrive)
+    np.maximum(arrive, floor0, out=arrive)
+    cluster._channel_clock[chan] = float(arrive[-1])
+
+    # --- stats ----------------------------------------------------------
+    st = cluster.stats
+    st.messages += n
+    st.bytes += sum(m.nbytes for m in msgs)
+    st.control_messages += int(np.count_nonzero(nbytes <= 64))
+    if intra:
+        st.intra_messages += n
+    transit = st.total_transit_time
+    for a in arrive.tolist():
+        transit += a - now
+    st.total_transit_time = transit
+
+    # --- deliveries: one event per message, scheduled as a block --------
+    # The scalar path fires each delivery via succeed(delay=arrive - now),
+    # which the engine re-anchors as now + (arrive - now); reproduce that
+    # exact float round-trip before handing absolute times over.
+    from repro.sim.events import Event
+
+    eng_now = eng._now
+    times = eng_now + (arrive - eng_now)
+    cb = cluster._deliver_event
+    new = Event.__new__
+    events = []
+    eappend = events.append
+    for m in msgs:
+        ev = new(Event)
+        ev.engine = eng
+        ev.callbacks = [cb]
+        ev._triggered = False
+        ev._ok = True
+        ev._value = m
+        ev._scheduled = True
+        ev._defused = False
+        ev._cancelled = False
+        eappend(ev)
+    eng.schedule_batch(times, events)
+    return local_done

@@ -239,6 +239,32 @@ class Cluster:
         ev.succeed(delay=arrive - eng.now)
         return local_done
 
+    def send_batch(self, msgs: List[Message],
+                   depart_delay: float = 0.0) -> "np.ndarray":
+        """Inject a batch of messages at the same instant; returns the
+        per-message local-completion times as a float64 array.
+
+        Observably identical to ``[self.send(m, depart_delay) for m in
+        msgs]`` — same delivery times/order, stats, and RNG stream (see
+        :mod:`repro.network.batch` for the bit-exactness argument). The
+        vectorized path requires a single (src_rank, dst_rank, protocol)
+        channel and no per-message observers (tracer, analysis pipeline,
+        active fault plan); anything else falls back to the exact
+        per-message loop.
+        """
+        from repro.network.batch import batch_eligible, send_batch
+
+        if batch_eligible(self, msgs):
+            return send_batch(self, msgs, depart_delay)
+        return np.asarray(
+            [self.send(m, depart_delay) for m in msgs], dtype=np.float64
+        )
+
+    def _deliver_event(self, ev) -> None:
+        """Delivery callback used by the batched wire path: the message
+        rides in the event's value slot instead of a per-message closure."""
+        self._deliver(ev._value)
+
     def _deliver(self, msg: Message) -> None:
         msg.delivered_at = self.engine.now
         an = self.engine.analysis

@@ -19,7 +19,13 @@ Design goals (see DESIGN.md §1):
   analysis (§VI-C).
 """
 
-from repro.sim.engine import Engine, SimulationError, Interrupt
+from repro.sim.engine import (
+    BatchedEngine,
+    Engine,
+    Interrupt,
+    ObjectEngine,
+    SimulationError,
+)
 from repro.sim.events import Event, Timeout, AllOf, AnyOf
 from repro.sim.process import Process
 from repro.sim.resources import Mutex, Resource, Store
@@ -27,6 +33,8 @@ from repro.sim.rng import SeedSequence, derive_rng
 
 __all__ = [
     "Engine",
+    "ObjectEngine",
+    "BatchedEngine",
     "SimulationError",
     "Interrupt",
     "Event",

@@ -9,17 +9,36 @@ monotonically increasing insertion counter, so events scheduled for the same
 instant fire in insertion order unless an explicit priority says otherwise.
 Lower priority values fire first.
 
+Two engine implementations share that contract and are interchangeable
+(``REPRO_ENGINE=object|batched`` selects which one the :data:`Engine` alias
+names; ``batched`` is the default):
+
+* :class:`ObjectEngine` — the two-lane per-event dispatcher (heap + FIFO
+  immediate lane). Retained verbatim as the *differential oracle*: the
+  property tests in tests/test_properties.py replay randomized schedules on
+  both engines and require identical fire order, time, and event counts,
+  the same pattern that keeps ``LinearMatchingEngine`` next to the indexed
+  MPI matcher.
+* :class:`BatchedEngine` — the array-native hot core (docs/performance.md).
+  It adds a third *timeline lane*: a ring of parallel arrays (times, seqs,
+  events) appended in sorted order by :meth:`ObjectEngine.schedule_batch`,
+  which the vectorized NIC wire path (:mod:`repro.network.batch`) fills
+  with whole message batches at once. Its run loop pops *runs* of
+  same-lane events and fires them through a tight loop with no heap
+  traffic, re-checking the cross-lane barrier only when a fired callback
+  mutates another lane.
+
 Performance notes (docs/performance.md has the full fast-path contract):
 
-* The queue is two lanes with one total order. Normal-priority events
-  scheduled with ``delay == 0`` — the dominant class in this code base:
-  condition triggers, completion notifications, park/unpark signals — go to
-  a FIFO *immediate lane* (a deque; O(1) in, O(1) out). Everything else
-  goes to the binary heap. Because simulated time never runs backwards and
-  ``seq`` grows monotonically, the lane is always sorted by ``(time, seq)``
-  by construction; dispatch compares the two lane heads on the full
-  ``(time, priority, seq)`` key, so the firing order is *identical* to a
-  single-heap engine (property-tested in tests/test_sim_engine.py).
+* Normal-priority events scheduled with ``delay == 0`` — the dominant
+  class in this code base: condition triggers, completion notifications,
+  park/unpark signals — go to a FIFO *immediate lane* (a deque; O(1) in,
+  O(1) out). Everything else goes to the binary heap. Because simulated
+  time never runs backwards and ``seq`` grows monotonically, the lane is
+  always sorted by ``(time, seq)`` by construction; dispatch compares the
+  lane heads on the full ``(time, priority, seq)`` key, so the firing
+  order is *identical* to a single-heap engine (property-tested in
+  tests/test_sim_engine.py).
 * :meth:`Engine.run` dispatches through an inlined fast loop whenever no
   tracing of any kind is requested — local bindings, no per-event tracer
   attribute reads, ``until``/``max_events`` guards hoisted out of the
@@ -29,14 +48,19 @@ Performance notes (docs/performance.md has the full fast-path contract):
   engine discards flagged entries as they surface at a lane head, so
   defusing a timeout costs O(1) instead of an O(n) queue rebuild.
   Introspection (:meth:`peek`, :attr:`queue_depth`, :meth:`budget_error`)
-  reports *live* events only, so deadlock diagnostics never count corpses.
+  reports *live* events only — a counter-based accounting that never
+  scans a lane or ring buffer — so deadlock diagnostics never count
+  corpses.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from heapq import heappop, heappush
 from typing import Callable, Iterable, Optional, TYPE_CHECKING
+
+import numpy as np
 
 from repro.analysis.pipeline import NULL_ANALYSIS
 from repro.trace.tracer import NULL_TRACER, Tracer
@@ -66,8 +90,12 @@ PRIORITY_NORMAL = 0
 PRIORITY_URGENT = -1
 
 
-class Engine:
-    """Deterministic discrete-event simulation engine.
+class ObjectEngine:
+    """Deterministic discrete-event simulation engine (per-event dispatch).
+
+    This is the reference implementation and differential oracle for
+    :class:`BatchedEngine`; the module-level :data:`Engine` alias picks one
+    of the two from ``REPRO_ENGINE``.
 
     Parameters
     ----------
@@ -89,6 +117,8 @@ class Engine:
         "_running",
         "_event_count",
         "_cancelled",
+        "_qgen",
+        "_failed",
         "tracer",
         "analysis",
         "_progress_t0",
@@ -101,8 +131,11 @@ class Engine:
         #: (time, priority, seq, event) entries with delay > 0 or
         #: non-normal priority
         self._heap: list = []
-        #: (time, seq, event) entries scheduled with delay == 0 at normal
-        #: priority; sorted by construction (see module docstring)
+        #: events scheduled with delay == 0 at normal priority, FIFO.
+        #: Entries are *bare events*: a live lane entry's fire time is
+        #: always exactly ``self._now`` (time is monotone and nothing
+        #: later may overtake, so the head fires before time can advance
+        #: — property-tested), and its seq lives in ``event._lseq``.
         self._lane: deque = deque()
         self._seq: int = 0
         self._trace = trace
@@ -110,6 +143,13 @@ class Engine:
         self._event_count = 0
         #: lazily-cancelled entries still sitting in the queue lanes
         self._cancelled = 0
+        #: bumped on every heap/timeline insertion; the batched dispatch
+        #: loops compare it to detect barrier-invalidating mutations
+        self._qgen = 0
+        #: sticky: True once any event has ever fail()ed on this engine.
+        #: While False the immediate lane provably holds successes only,
+        #: so the batched drain can skip the per-event lost-error check.
+        self._failed = False
         #: tracing sink read by every instrumented layer via ``engine.tracer``
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         #: correctness-checker pipeline read by the instrumented layers via
@@ -143,7 +183,7 @@ class Engine:
     def _clean_heads(self) -> None:
         """Discard cancelled entries sitting at either lane head."""
         lane = self._lane
-        while lane and lane[0][2]._cancelled:
+        while lane and lane[0]._cancelled:
             lane.popleft()
             self._cancelled -= 1
         heap = self._heap
@@ -152,15 +192,15 @@ class Engine:
             self._cancelled -= 1
 
     @staticmethod
-    def _lane_first(le, he) -> bool:
-        """True if lane entry ``le`` precedes heap entry ``he`` in the
-        total (time, priority, seq) order (the lane's priority is 0)."""
-        lt = le[0]
+    def _lane_first(lt, lseq, he) -> bool:
+        """True if a lane head at time ``lt`` with seq ``lseq`` precedes
+        heap entry ``he`` in the total (time, priority, seq) order (the
+        lane's priority is 0)."""
         ht = he[0]
         if lt != ht:
             return lt < ht
         hp = he[1]
-        return hp > 0 or (hp == 0 and le[1] < he[2])
+        return hp > 0 or (hp == 0 and lseq < he[2])
 
     def peek(self) -> float:
         """Time of the next live scheduled event, or ``inf`` if none.
@@ -172,9 +212,11 @@ class Engine:
         lane = self._lane
         heap = self._heap
         if lane:
-            if heap and not self._lane_first(lane[0], heap[0]):
+            # A live lane head's time is always exactly `now` (see the
+            # lane-format note in __init__), so no entry time is stored.
+            if heap and not self._lane_first(self._now, lane[0]._lseq, heap[0]):
                 return heap[0][0]
-            return lane[0][0]
+            return self._now
         return heap[0][0] if heap else _INF
 
     # ------------------------------------------------------------------
@@ -189,9 +231,58 @@ class Engine:
             raise SimulationError(f"non-finite or negative delay {delay!r}")
         self._seq += 1
         if delay == 0.0 and priority == 0:
-            self._lane.append((self._now, self._seq, event))
+            event._lseq = self._seq
+            self._lane.append(event)
         else:
+            self._qgen += 1
             heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def _check_batch(self, times, events) -> "np.ndarray":
+        """Validate a ``schedule_batch`` call; returns ``times`` as float64.
+
+        The contract: absolute times, non-decreasing, all ``>= now``, all
+        finite. Checked in two vectorized passes (a NaN anywhere fails the
+        first-element or diff comparison, an inf fails the isfinite check
+        on the largest element)."""
+        arr = np.asarray(times, dtype=np.float64)
+        if arr.ndim != 1 or arr.shape[0] != len(events):
+            raise SimulationError(
+                f"schedule_batch: {arr.shape} times for {len(events)} events"
+            )
+        n = arr.shape[0]
+        if n and not (
+            arr[0] >= self._now
+            and np.isfinite(arr[n - 1])
+            and (n < 2 or bool(np.all(np.diff(arr) >= 0.0)))
+        ):
+            raise SimulationError(
+                "schedule_batch: times must be finite, non-decreasing and >= now"
+            )
+        return arr
+
+    def schedule_batch(self, times, events) -> None:
+        """Schedule ``events[i]`` to fire at *absolute* time ``times[i]``
+        (normal priority).
+
+        ``times`` must be non-decreasing, finite, and ``>= now`` — the
+        contract batch producers (the vectorized wire path) satisfy by
+        construction. Events receive consecutive ``seq`` numbers in array
+        order, so the batch occupies one contiguous block of the total
+        ``(time, priority, seq)`` order: the observable fire order is
+        *identical* to calling :meth:`schedule` once per (time, event)
+        pair in array order.
+        """
+        arr = self._check_batch(times, events)
+        # Ascending pushes keep each heappush O(1) amortized (the new
+        # entry never sifts past an earlier batch entry).
+        self._qgen += 1
+        seq = self._seq
+        heap = self._heap
+        push = heappush
+        for t, ev in zip(arr.tolist(), events):
+            seq += 1
+            push(heap, (t, PRIORITY_NORMAL, seq, ev))
+        self._seq = seq
 
     # ------------------------------------------------------------------
     # factories (sugar used throughout the code base)
@@ -231,12 +322,12 @@ class Engine:
         heap = self._heap
         while True:
             if lane:
-                if heap and not self._lane_first(lane[0], heap[0]):
+                if heap and not self._lane_first(self._now, lane[0]._lseq, heap[0]):
                     entry = heappop(heap)
                     time, event = entry[0], entry[3]
                 else:
-                    entry = lane.popleft()
-                    time, event = entry[0], entry[2]
+                    event = lane.popleft()
+                    time = self._now
             elif heap:
                 entry = heappop(heap)
                 time, event = entry[0], entry[3]
@@ -346,17 +437,19 @@ class Engine:
                 while True:
                     if lane:
                         if heap:
-                            le = lane[0]
                             he = heap[0]
-                            lt = le[0]
+                            lt = self._now
                             ht = he[0]
                             if lt < ht or (lt == ht and (
-                                    he[1] > 0 or (he[1] == 0 and le[1] < he[2]))):
-                                t, _seq, event = popleft()
+                                    he[1] > 0 or (he[1] == 0
+                                                  and lane[0]._lseq < he[2]))):
+                                event = popleft()
+                                t = lt
                             else:
                                 t, _prio, _seq, event = pop(heap)
                         else:
-                            t, _seq, event = popleft()
+                            event = popleft()
+                            t = self._now
                     elif heap:
                         t, _prio, _seq, event = pop(heap)
                     else:
@@ -370,8 +463,13 @@ class Engine:
                     event._triggered = True
                     callbacks = event.callbacks
                     if callbacks:
-                        event.callbacks = []
-                        for cb in callbacks:
+                        event.callbacks = ()
+                        try:
+                            (cb,) = callbacks
+                        except ValueError:
+                            for cb in callbacks:
+                                cb(event)
+                        else:
                             cb(event)
                     if event._ok is False and not event._defused:
                         raise event._value
@@ -382,11 +480,13 @@ class Engine:
             budget = _INF if max_events is None else max_events
             while True:
                 if lane:
-                    if heap and not lane_first(lane[0], heap[0]):
+                    if heap and not lane_first(self._now, lane[0]._lseq,
+                                               heap[0]):
                         t, _prio, _seq, event = pop(heap)
                         from_lane = False
                     else:
-                        t, _seq, event = popleft()
+                        event = popleft()
+                        t = self._now
                         from_lane = True
                 elif heap:
                     t, _prio, _seq, event = pop(heap)
@@ -399,14 +499,14 @@ class Engine:
                 if t > limit:
                     # not consumed: fires on a later run()
                     if from_lane:
-                        lane.appendleft((t, _seq, event))
+                        lane.appendleft(event)
                     else:
                         heappush(heap, (t, _prio, _seq, event))
                     self._now = limit
                     return limit
                 if fired >= budget:
                     if from_lane:
-                        lane.appendleft((t, _seq, event))
+                        lane.appendleft(event)
                     else:
                         heappush(heap, (t, _prio, _seq, event))
                     raise self.budget_error(max_events)
@@ -416,8 +516,13 @@ class Engine:
                 event._triggered = True
                 callbacks = event.callbacks
                 if callbacks:
-                    event.callbacks = []
-                    for cb in callbacks:
+                    event.callbacks = ()
+                    try:
+                        (cb,) = callbacks
+                    except ValueError:
+                        for cb in callbacks:
+                            cb(event)
+                    else:
                         cb(event)
                 if event._ok is False and not event._defused:
                     raise event._value
@@ -475,3 +580,608 @@ class Engine:
         if not process.ok:
             raise process.value  # type: ignore[misc]
         return process.value
+
+
+class BatchedEngine(ObjectEngine):
+    """Array-native engine: adds a sorted *timeline lane* and batch-pop
+    dispatch on top of :class:`ObjectEngine`.
+
+    The timeline lane is a ring of three parallel arrays (times, seqs,
+    events) plus a head cursor. :meth:`schedule_batch` appends whole
+    sorted batches in O(n) with no heap sifting; the run loop pops from
+    the head in O(1). Consumed slots are reclaimed either wholesale when
+    the lane drains or by compacting when the dead prefix dominates —
+    never by per-pop shifting. :attr:`queue_depth`/:meth:`peek` stay
+    O(1)/O(corpses-at-head): live counts come from ``len - head`` and the
+    shared lazy-cancellation counter, not from scanning the ring.
+
+    Dispatch fires *runs* of events from one lane through a tight inlined
+    loop, bounded by a cached cross-lane barrier key (the head of the
+    closest other lane). The barrier is recomputed only when a fired
+    callback mutates another lane (detected by length change), so a
+    delay-0 storm or a wire batch pays the three-way comparison once per
+    run, not once per event. Fire order is bit-identical to
+    :class:`ObjectEngine` (property-tested in tests/test_properties.py).
+    """
+
+    __slots__ = ("_tl_times", "_tl_seqs", "_tl_events", "_tl_head")
+
+    def __init__(self, trace: Optional[Callable[[float, "Event"], None]] = None,
+                 tracer: Optional[Tracer] = None):
+        super().__init__(trace, tracer)
+        #: timeline lane: parallel arrays sorted by (time, seq), live
+        #: entries are indices [_tl_head, len)
+        self._tl_times: list = []
+        self._tl_seqs: list = []
+        self._tl_events: list = []
+        self._tl_head: int = 0
+
+    # ------------------------------------------------------------------
+    # introspection (O(live), never scans the ring)
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Number of *live* (non-cancelled) events still queued."""
+        return (len(self._heap) + len(self._lane)
+                + len(self._tl_times) - self._tl_head - self._cancelled)
+
+    def _clean_heads(self) -> None:
+        super()._clean_heads()
+        head = self._tl_head
+        evs = self._tl_events
+        n = len(evs)
+        while head < n and evs[head]._cancelled:
+            head += 1
+            self._cancelled -= 1
+        self._tl_head = head
+
+    def peek(self) -> float:
+        """Time of the next live scheduled event, or ``inf`` if none.
+
+        ``time`` is the primary sort key, so the minimum over the three
+        lane-head times *is* the next event's time — no full-key compare
+        needed here."""
+        self._clean_heads()
+        best = _INF
+        heap = self._heap
+        if heap:
+            best = heap[0][0]
+        if self._lane and self._now < best:
+            # a live lane head's fire time is always exactly `now`
+            best = self._now
+        head = self._tl_head
+        if head < len(self._tl_times) and self._tl_times[head] < best:
+            best = self._tl_times[head]
+        return best
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _compact_tl(self) -> None:
+        """Reclaim the consumed prefix when it dominates the ring.
+
+        Only called when the engine is *not* inside a dispatch loop (the
+        loops hold a local head cursor; shifting under them would corrupt
+        it), so the amortized O(live) cost lands on quiescent append."""
+        head = self._tl_head
+        if head and head * 2 >= len(self._tl_times):
+            del self._tl_times[:head]
+            del self._tl_seqs[:head]
+            del self._tl_events[:head]
+            self._tl_head = 0
+
+    def schedule_batch(self, times, events) -> None:
+        arr = self._check_batch(times, events)
+        n = arr.shape[0]
+        if n == 0:
+            return
+        tlt = self._tl_times
+        if len(tlt) > self._tl_head and arr[0] < tlt[-1]:
+            # Out of order vs. the queued timeline tail: preserve the
+            # total order by routing through the heap instead (rare —
+            # only overlapping wire batches from unrelated clusters).
+            super().schedule_batch(arr, events)
+            return
+        if not self._running:
+            self._compact_tl()
+        self._qgen += 1
+        seq0 = self._seq
+        self._seq = seq0 + n
+        tlt.extend(arr.tolist())
+        self._tl_seqs.extend(range(seq0 + 1, seq0 + n + 1))
+        self._tl_events.extend(events)
+
+    schedule_batch.__doc__ = ObjectEngine.schedule_batch.__doc__
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _pop_next(self):
+        """Pop ``(time, event)`` for the next live event across all three
+        lanes, or ``None`` when drained. Used by :meth:`step` (the
+        observable path); the fast loops below inline the same order."""
+        lane = self._lane
+        heap = self._heap
+        tlt = self._tl_times
+        tls = self._tl_seqs
+        tle = self._tl_events
+        while True:
+            head = self._tl_head
+            src = 0
+            key = None
+            if head < len(tlt):
+                key = (tlt[head], 0, tls[head])
+                src = 2
+            if lane:
+                lk = (self._now, 0, lane[0]._lseq)
+                if src == 0 or lk < key:
+                    key = lk
+                    src = 1
+            if heap:
+                he = heap[0]
+                hk = (he[0], he[1], he[2])
+                if src == 0 or hk < key:
+                    src = 3
+            if src == 0:
+                return None
+            if src == 1:
+                event = lane.popleft()
+                time = self._now
+            elif src == 2:
+                time, event = tlt[head], tle[head]
+                self._tl_head = head + 1
+                if self._tl_head == len(tlt):
+                    tlt.clear()
+                    tls.clear()
+                    tle.clear()
+                    self._tl_head = 0
+            else:
+                entry = heappop(heap)
+                time, event = entry[0], entry[3]
+            if event._cancelled:
+                self._cancelled -= 1
+                continue
+            return time, event
+
+    def _run_fast(self, until: Optional[float], max_events: Optional[int]) -> float:
+        if until is None and max_events is None:
+            return self._run_fast_unbounded()
+        return self._run_fast_bounded(until, max_events)
+
+    def _run_fast_unbounded(self) -> float:
+        """Batch-pop hot loop (see class docstring for the barrier scheme)."""
+        heap = self._heap
+        lane = self._lane
+        tlt = self._tl_times
+        tls = self._tl_seqs
+        tle = self._tl_events
+        pop = heappop
+        popleft = lane.popleft
+        appendleft = lane.appendleft
+        fired = 0
+        try:
+            while True:
+                th = self._tl_head
+                ntl = len(tlt)
+                if th >= ntl:
+                    if ntl:
+                        # drained: drop fired-event references wholesale
+                        tlt.clear()
+                        tls.clear()
+                        tle.clear()
+                        self._tl_head = th = ntl = 0
+                    if lane:
+                        src = 1
+                    elif heap:
+                        src = 3
+                    else:
+                        break
+                elif lane:
+                    src = 2 if ((tlt[th], tls[th])
+                                < (self._now, lane[0]._lseq)) else 1
+                else:
+                    src = 2
+                if src != 3 and heap:
+                    he = heap[0]
+                    if src == 1:
+                        ct, cs = self._now, lane[0]._lseq
+                    else:
+                        ct, cs = tlt[th], tls[th]
+                    ht = he[0]
+                    hp = he[1]
+                    if not (ct < ht or (ct == ht and (
+                            hp > 0 or (hp == 0 and cs < he[2])))):
+                        src = 3
+                if src == 3:
+                    # single heap pop: heap entries (timers, urgent
+                    # bookkeeping) rarely arrive in runs
+                    t, _prio, _seq, event = pop(heap)
+                    if event._cancelled:
+                        self._cancelled -= 1
+                        continue
+                    self._now = t
+                    fired += 1
+                    # --- inlined Event._fire() ---
+                    event._triggered = True
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = ()
+                        try:
+                            (cb,) = callbacks
+                        except ValueError:
+                            for cb in callbacks:
+                                cb(event)
+                        else:
+                            cb(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value
+                    continue
+                # Barrier: full (time, priority, seq) key of the closest
+                # head NOT in the chosen lane, cached in locals.
+                bt = _INF
+                bp = 0
+                bseq = 0
+                if heap:
+                    he = heap[0]
+                    bt, bp, bseq = he[0], he[1], he[2]
+                if src == 1:
+                    if th < ntl:
+                        tt = tlt[th]
+                        if tt < bt or (tt == bt and (
+                                bp > 0 or (bp == 0 and tls[th] < bseq))):
+                            bt, bp, bseq = tt, 0, tls[th]
+                    # Mutation sentinels: the barrier only moves if the
+                    # heap head is *replaced* (a push of an earlier entry;
+                    # callbacks cannot pop the heap) or the empty timeline
+                    # gains entries. A non-empty timeline needs no check —
+                    # schedule_batch appends strictly after its own head,
+                    # which the barrier already bounds.
+                    g0 = self._qgen
+                    # ---- immediate-lane run ----
+                    # Every live lane entry shares time == now: an entry's
+                    # time is the `now` it was appended at, time is
+                    # monotone, and nothing later may overtake — so `now`
+                    # already equals each entry's time here (no `self._now`
+                    # store needed; property-tested).
+                    if self._now < bt and not self._cancelled:
+                        # Strict barrier, corpse-free: with the closest
+                        # rival strictly later than now, no entry in this
+                        # run — including ones appended by callbacks
+                        # mid-run — can be blocked, so skip the per-event
+                        # key compare; with zero live corpses anywhere,
+                        # skip the per-event cancel flag read too.
+                        # Everything that could invalidate either fact —
+                        # an urgent delay-0 push, a timeline batch landing
+                        # at now, Event.cancel(), or Event.fail() — bumps
+                        # _qgen.
+                        if self._failed:
+                            while lane:
+                                event = popleft()
+                                fired += 1
+                                # --- inlined Event._fire() ---
+                                event._triggered = True
+                                callbacks = event.callbacks
+                                if callbacks:
+                                    event.callbacks = ()
+                                    try:
+                                        (cb,) = callbacks
+                                    except ValueError:
+                                        for cb in callbacks:
+                                            cb(event)
+                                    else:
+                                        cb(event)
+                                if event._ok is False and not event._defused:
+                                    raise event._value
+                                if self._qgen != g0:
+                                    break
+                        else:
+                            # No event has ever fail()ed on this engine,
+                            # so the lane provably holds successes only —
+                            # drop the per-event lost-error check as well.
+                            while lane:
+                                event = popleft()
+                                fired += 1
+                                # --- inlined Event._fire() ---
+                                event._triggered = True
+                                callbacks = event.callbacks
+                                if callbacks:
+                                    event.callbacks = ()
+                                    try:
+                                        (cb,) = callbacks
+                                    except ValueError:
+                                        for cb in callbacks:
+                                            cb(event)
+                                    else:
+                                        cb(event)
+                                if self._qgen != g0:
+                                    break
+                    else:
+                        # Per-event compare (barrier tie at now, or
+                        # corpses present). Lane entries all fire at now
+                        # with priority 0, so the full-key compare
+                        # reduces to a loop-invariant strictness bit
+                        # plus per-entry seq order.
+                        strict = self._now < bt or bp > 0
+                        while lane:
+                            event = popleft()
+                            if not (strict or event._lseq < bseq):
+                                appendleft(event)
+                                break
+                            if event._cancelled:
+                                self._cancelled -= 1
+                                continue
+                            fired += 1
+                            # --- inlined Event._fire() ---
+                            event._triggered = True
+                            callbacks = event.callbacks
+                            if callbacks:
+                                event.callbacks = ()
+                                try:
+                                    (cb,) = callbacks
+                                except ValueError:
+                                    for cb in callbacks:
+                                        cb(event)
+                                else:
+                                    cb(event)
+                            if event._ok is False and not event._defused:
+                                raise event._value
+                            if self._qgen != g0:
+                                break
+                else:
+                    if lane:
+                        lt = self._now
+                        lseq = lane[0]._lseq
+                        if lt < bt or (lt == bt and (
+                                bp > 0 or (bp == 0 and lseq < bseq))):
+                            bt, bp, bseq = lt, 0, lseq
+                    # Same sentinel scheme as the lane run: new lane
+                    # appends land behind the lane head the barrier
+                    # already covers, so only empty-to-non-empty matters.
+                    g0 = self._qgen
+                    # truthy only if the empty-at-entry immediate lane
+                    # gained entries — a non-empty lane's head is already
+                    # covered by the barrier
+                    watch = () if lane else lane
+                    # ---- timeline run ----
+                    # The head cursor is persisted *before* each fire, not
+                    # held in a local: callbacks may read queue_depth or
+                    # call peek(), whose _clean_heads itself advances the
+                    # head past corpses — a local cursor would go stale
+                    # and double-count those corpses on resume.
+                    while True:
+                        th = self._tl_head
+                        if th >= ntl:
+                            break
+                        t = tlt[th]
+                        if not (t < bt or (t == bt and (
+                                bp > 0 or (bp == 0 and tls[th] < bseq)))):
+                            break
+                        event = tle[th]
+                        self._tl_head = th + 1
+                        if event._cancelled:
+                            self._cancelled -= 1
+                            continue
+                        self._now = t
+                        fired += 1
+                        # --- inlined Event._fire() ---
+                        event._triggered = True
+                        callbacks = event.callbacks
+                        if callbacks:
+                            event.callbacks = ()
+                            try:
+                                (cb,) = callbacks
+                            except ValueError:
+                                for cb in callbacks:
+                                    cb(event)
+                            else:
+                                cb(event)
+                        if event._ok is False and not event._defused:
+                            raise event._value
+                        if self._qgen != g0 or watch:
+                            break
+            return self._now
+        finally:
+            self._event_count += fired
+
+    def _run_fast_bounded(self, until: Optional[float],
+                          max_events: Optional[int]) -> float:
+        """Batch-pop loop with ``until``/budget guards. Unconsumed events
+        are pushed back so a later ``run()`` resumes exactly where this
+        one stopped."""
+        heap = self._heap
+        lane = self._lane
+        tlt = self._tl_times
+        tls = self._tl_seqs
+        tle = self._tl_events
+        pop = heappop
+        popleft = lane.popleft
+        appendleft = lane.appendleft
+        limit = _INF if until is None else until
+        budget = _INF if max_events is None else max_events
+        fired = 0
+        try:
+            while True:
+                th = self._tl_head
+                ntl = len(tlt)
+                if th >= ntl:
+                    if ntl:
+                        tlt.clear()
+                        tls.clear()
+                        tle.clear()
+                        self._tl_head = th = ntl = 0
+                    if lane:
+                        src = 1
+                    elif heap:
+                        src = 3
+                    else:
+                        break
+                elif lane:
+                    src = 2 if ((tlt[th], tls[th])
+                                < (self._now, lane[0]._lseq)) else 1
+                else:
+                    src = 2
+                if src != 3 and heap:
+                    he = heap[0]
+                    if src == 1:
+                        ct, cs = self._now, lane[0]._lseq
+                    else:
+                        ct, cs = tlt[th], tls[th]
+                    ht = he[0]
+                    hp = he[1]
+                    if not (ct < ht or (ct == ht and (
+                            hp > 0 or (hp == 0 and cs < he[2])))):
+                        src = 3
+                if src == 3:
+                    t, _prio, _seq, event = pop(heap)
+                    if event._cancelled:
+                        self._cancelled -= 1
+                        continue
+                    if t > limit:
+                        heappush(heap, (t, _prio, _seq, event))
+                        self._now = limit
+                        return limit
+                    if fired >= budget:
+                        heappush(heap, (t, _prio, _seq, event))
+                        raise self.budget_error(max_events)
+                    self._now = t
+                    fired += 1
+                    event._triggered = True
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = ()
+                        try:
+                            (cb,) = callbacks
+                        except ValueError:
+                            for cb in callbacks:
+                                cb(event)
+                        else:
+                            cb(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value
+                    continue
+                bt = _INF
+                bp = 0
+                bseq = 0
+                if heap:
+                    he = heap[0]
+                    bt, bp, bseq = he[0], he[1], he[2]
+                if src == 1:
+                    if th < ntl:
+                        tt = tlt[th]
+                        if tt < bt or (tt == bt and (
+                                bp > 0 or (bp == 0 and tls[th] < bseq))):
+                            bt, bp, bseq = tt, 0, tls[th]
+                    g0 = self._qgen
+                    # all lane entries fire at now with priority 0 (see
+                    # the unbounded loop): hoist the invariant parts of
+                    # the barrier compare and the `until` guard
+                    lt = self._now
+                    strict = lt < bt or bp > 0
+                    while lane:
+                        event = popleft()
+                        if not (strict or event._lseq < bseq):
+                            appendleft(event)
+                            break
+                        if event._cancelled:
+                            self._cancelled -= 1
+                            continue
+                        if lt > limit:
+                            appendleft(event)
+                            self._now = limit
+                            return limit
+                        if fired >= budget:
+                            appendleft(event)
+                            raise self.budget_error(max_events)
+                        # `now` already equals lt (see unbounded loop)
+                        fired += 1
+                        event._triggered = True
+                        callbacks = event.callbacks
+                        if callbacks:
+                            event.callbacks = ()
+                            try:
+                                (cb,) = callbacks
+                            except ValueError:
+                                for cb in callbacks:
+                                    cb(event)
+                            else:
+                                cb(event)
+                        if event._ok is False and not event._defused:
+                            raise event._value
+                        if self._qgen != g0:
+                            break
+                else:
+                    if lane:
+                        lt = self._now
+                        lseq = lane[0]._lseq
+                        if lt < bt or (lt == bt and (
+                                bp > 0 or (bp == 0 and lseq < bseq))):
+                            bt, bp, bseq = lt, 0, lseq
+                    g0 = self._qgen
+                    # truthy only if the empty-at-entry immediate lane
+                    # gained entries — a non-empty lane's head is already
+                    # covered by the barrier
+                    watch = () if lane else lane
+                    # head persisted per event — see the unbounded loop
+                    while True:
+                        th = self._tl_head
+                        if th >= ntl:
+                            break
+                        t = tlt[th]
+                        if not (t < bt or (t == bt and (
+                                bp > 0 or (bp == 0 and tls[th] < bseq)))):
+                            break
+                        event = tle[th]
+                        self._tl_head = th + 1
+                        if event._cancelled:
+                            self._cancelled -= 1
+                            continue
+                        if t > limit:
+                            self._tl_head = th
+                            self._now = limit
+                            return limit
+                        if fired >= budget:
+                            self._tl_head = th
+                            raise self.budget_error(max_events)
+                        self._now = t
+                        fired += 1
+                        event._triggered = True
+                        callbacks = event.callbacks
+                        if callbacks:
+                            event.callbacks = ()
+                            try:
+                                (cb,) = callbacks
+                            except ValueError:
+                                for cb in callbacks:
+                                    cb(event)
+                            else:
+                                cb(event)
+                        if event._ok is False and not event._defused:
+                            raise event._value
+                        if self._qgen != g0 or watch:
+                            break
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._event_count += fired
+
+
+def _default_engine_class():
+    """Resolve the :data:`Engine` alias from ``REPRO_ENGINE``.
+
+    ``batched`` (the default) selects :class:`BatchedEngine`; ``object``
+    selects the per-event oracle. Read once at import — tests that need
+    both instantiate the classes directly."""
+    name = os.environ.get("REPRO_ENGINE", "batched").strip().lower()
+    if name in ("", "batched"):
+        return BatchedEngine
+    if name == "object":
+        return ObjectEngine
+    raise SimulationError(
+        f"REPRO_ENGINE={name!r} not recognized (expected 'object' or 'batched')"
+    )
+
+
+#: The engine class the rest of the code base instantiates; resolved from
+#: the ``REPRO_ENGINE`` environment variable at import time.
+Engine = _default_engine_class()

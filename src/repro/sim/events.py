@@ -22,8 +22,11 @@ if TYPE_CHECKING:  # pragma: no cover
 class Event:
     """A one-shot awaitable occurrence on an :class:`Engine`."""
 
+    #: ``_lseq`` is the queue sequence number, assigned when the event
+    #: enters the engine's immediate lane (lane entries are bare events;
+    #: see engine.py). Only meaningful while the event sits in the lane.
     __slots__ = ("engine", "callbacks", "_triggered", "_ok", "_value",
-                 "_scheduled", "_defused", "_cancelled")
+                 "_scheduled", "_defused", "_cancelled", "_lseq")
 
     def __init__(self, engine: Engine):
         self.engine = engine
@@ -59,12 +62,25 @@ class Event:
     # -- triggering ------------------------------------------------------
     def succeed(self, value: object = None, delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> "Event":
         """Schedule this event to fire successfully ``delay`` seconds from now."""
-        if self._scheduled or self._triggered:
+        # _triggered implies _scheduled (events only fire after scheduling),
+        # so one flag read covers the full already-triggered guard.
+        if self._scheduled:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
-        self._value = value
+        if value is not None:
+            self._value = value
         self._scheduled = True
-        self.engine.schedule(self, delay, priority)
+        if not delay and not priority:
+            # Inlined Engine.schedule() immediate-lane fast path: delay-0
+            # completions are the hot class (docs/performance.md) and 0.0
+            # trivially passes schedule()'s delay validation.  Truthiness
+            # stands in for ``== 0`` (NaN is truthy, so it still routes to
+            # schedule() for validation).
+            eng = self.engine
+            eng._seq = self._lseq = eng._seq + 1
+            eng._lane.append(self)
+        else:
+            self.engine.schedule(self, delay, priority)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -76,7 +92,14 @@ class Event:
         self._ok = False
         self._value = exception
         self._scheduled = True
-        self.engine.schedule(self, delay)
+        eng = self.engine
+        # Sticky failure marker plus a generation bump: the batched
+        # engine's failure-free drain skips the per-event lost-error
+        # check, so a failure appended mid-run must force the in-flight
+        # drain to re-derive its state (see engine.py).
+        eng._failed = True
+        eng._qgen += 1
+        eng.schedule(self, delay)
         return self
 
     def cancel(self) -> bool:
@@ -97,16 +120,25 @@ class Event:
         if not self._scheduled:
             raise SimulationError(f"cannot cancel unscheduled {self!r}")
         self._cancelled = True
-        self.engine._cancelled += 1
+        eng = self.engine
+        eng._cancelled += 1
+        # A corpse invalidates the batched engine's corpse-free drain;
+        # the generation bump makes an in-flight run re-derive its state.
+        eng._qgen += 1
         return True
 
     def _fire(self) -> None:
         # NOTE: Engine._run_fast inlines this body — keep the two in sync,
         # and do not override _fire in subclasses (docs/performance.md).
         self._triggered = True
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        # The shared empty *tuple* costs no allocation per fire; nothing
+        # appends to a fired event's callbacks (add_callback calls through).
+        callbacks, self.callbacks = self.callbacks, ()
+        if len(callbacks) == 1:
+            callbacks[0](self)
+        else:
+            for cb in callbacks:
+                cb(self)
         # A failed event nobody waited on is a silent lost error; surface it.
         if self._ok is False and not self._defused:
             raise self._value  # type: ignore[misc]

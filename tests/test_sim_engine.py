@@ -425,3 +425,143 @@ class TestImmediateLane:
         assert eng.event_count == 1
         eng.run()
         assert eng.event_count == 2
+
+
+class TestScheduleBatch:
+    """Bulk insertion must be observably identical to a schedule() loop,
+    and lazy cancellation must keep queue_depth/peek O(live) accurate."""
+
+    @staticmethod
+    def _batch_events(eng, n, order, labels=None):
+        evs = []
+        for i in range(n):
+            ev = Event(eng)
+            label = labels[i] if labels else i
+            ev.add_callback(lambda e, l=label: order.append(l))
+            ev._scheduled = True  # the wire path marks batch events itself
+            evs.append(ev)
+        return evs
+
+    def test_batch_fires_interleaved_with_heap_and_lane(self):
+        eng = Engine()
+        order = []
+        eng.timeout(1.0).add_callback(lambda e: order.append("t1"))
+        eng.timeout(3.0).add_callback(lambda e: order.append("t3"))
+        imm = Event(eng)
+        imm.add_callback(lambda e: order.append("imm"))
+        imm.succeed()  # lane entry at t=0
+        evs = self._batch_events(eng, 3, order, labels=["b0.5", "b2a", "b2b"])
+        eng.schedule_batch([0.5, 2.0, 2.0], evs)
+        assert eng.run() == 3.0
+        assert order == ["imm", "b0.5", "t1", "b2a", "b2b", "t3"]
+
+    def test_batch_equivalent_to_schedule_loop(self):
+        times = [0.0, 0.0, 1.5, 1.5, 2.0]
+
+        def drive(use_batch):
+            eng = Engine()
+            order = []
+            eng.timeout(1.5).add_callback(lambda e: order.append("timer"))
+            evs = self._batch_events(eng, len(times), order)
+            if use_batch:
+                eng.schedule_batch(times, evs)
+            else:
+                for t, ev in zip(times, evs):
+                    eng.schedule(ev, t - eng.now)
+            eng.run()
+            return order, eng.now, eng.event_count
+
+        assert drive(True) == drive(False)
+
+    def test_empty_batch_is_noop(self):
+        eng = Engine()
+        eng.schedule_batch([], [])
+        assert eng.queue_depth == 0
+        assert eng.run() == 0.0
+
+    def test_batch_validation(self):
+        eng = Engine()
+        evs = self._batch_events(eng, 2, [])
+        with pytest.raises(SimulationError, match="times for"):
+            eng.schedule_batch([1.0], evs)
+        for bad in ([2.0, 1.0], [-1.0, 1.0], [1.0, float("nan")],
+                    [1.0, float("inf")]):
+            with pytest.raises(SimulationError, match="non-decreasing"):
+                eng.schedule_batch(bad, evs)
+
+    def test_out_of_order_second_batch_stays_sorted(self):
+        # A second batch starting before the queued tail of the first must
+        # not break the total order (the batched engine reroutes it).
+        eng = Engine()
+        order = []
+        a = self._batch_events(eng, 2, order, labels=["a5", "a6"])
+        eng.schedule_batch([5.0, 6.0], a)
+        b = self._batch_events(eng, 2, order, labels=["b1", "b2"])
+        eng.schedule_batch([1.0, 2.0], b)
+        assert eng.run() == 6.0
+        assert order == ["b1", "b2", "a5", "a6"]
+
+    def test_cancel_inside_batch(self):
+        """A callback cancelling a later same-timestamp batch member must
+        suppress it mid-drain, and depth/peek must exclude the corpse."""
+        eng = Engine()
+        order = []
+        evs = self._batch_events(eng, 4, order)
+        eng.schedule_batch([1.0, 1.0, 1.0, 2.0], evs)
+        # first member kills the third (same timestamp, already queued)
+        evs[0].add_callback(lambda e: evs[2].cancel())
+        depths = []
+        evs[1].add_callback(lambda e: depths.append((eng.queue_depth,
+                                                     eng.peek())))
+        assert eng.run() == 2.0
+        assert order == [0, 1, 3]
+        # observed mid-run, after the cancel: only evs[3] is live
+        assert depths == [(1, 2.0)]
+        assert eng.queue_depth == 0
+        assert eng.event_count == 3
+
+    def test_cancel_inside_lane_drain(self):
+        """Same-instant FIFO lane: cancelling a not-yet-fired lane entry
+        from a lane callback must take effect within the drain."""
+        eng = Engine()
+        order = []
+        evs = []
+        for i in range(4):
+            ev = Event(eng)
+            ev.add_callback(lambda e, i=i: order.append(i))
+            evs.append(ev)
+        for ev in evs:
+            ev.succeed()
+        evs[0].add_callback(lambda e: evs[2].cancel())
+        eng.run()
+        assert order == [0, 1, 3]
+        assert eng.event_count == 3
+
+    def test_batch_corpses_invisible_to_depth_and_peek(self):
+        eng = Engine()
+        evs = self._batch_events(eng, 3, [])
+        eng.schedule_batch([1.0, 2.0, 3.0], evs)
+        assert eng.queue_depth == 3
+        evs[0].cancel()
+        assert eng.queue_depth == 2
+        assert eng.peek() == 2.0  # head corpse skipped
+        evs[1].cancel()
+        evs[2].cancel()
+        assert eng.queue_depth == 0
+        assert eng.peek() == float("inf")
+        assert eng.run() == 0.0
+
+    def test_fail_inside_lane_drain_surfaces(self):
+        """fail() invalidates the failure-free lane drain mid-run."""
+        eng = Engine()
+        fired = []
+        boom = Event(eng)
+        first = Event(eng)
+        first.add_callback(lambda e: boom.fail(RuntimeError("late")))
+        first.succeed()
+        tail = Event(eng)
+        tail.add_callback(lambda e: fired.append("tail"))
+        tail.succeed()
+        with pytest.raises(RuntimeError, match="late"):
+            eng.run()
+        assert fired == ["tail"]  # tail (seq 2) fires before boom (seq 3)
