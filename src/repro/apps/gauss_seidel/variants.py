@@ -85,10 +85,14 @@ def mpi_only_main(job: Job, params: GSParams, st: RankStorage):
         # step-0 bottom halo
         init_sends = []
         if st.has_upper:
-            for j in range(nbj):
-                req = yield from drv.isend(
-                    st.first_row()[j * bs : (j + 1) * bs], up, _tag(0, 1, j, nbj))
-                init_sends.append(req)
+            # one library entry for the whole first-row halo: all blocks go
+            # to the same neighbour at the same instant, so the injection
+            # rides the vectorized Cluster.send_batch wire path
+            row = st.first_row()
+            init_sends = yield from drv.isend_batch(
+                [row[j * bs : (j + 1) * bs] for j in range(nbj)],
+                up,
+                [_tag(0, 1, j, nbj) for j in range(nbj)])
 
         for t in range(params.timesteps):
             recv_top = [None] * nbj

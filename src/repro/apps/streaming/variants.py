@@ -108,8 +108,12 @@ def mpi_only_main(job: Job, params: StreamingParams, sr: StreamRank,
                         sr.sbuf[sl] = node_function(sr.node, sr.rbuf[sl])
                 yield from drv.compute(cost)
                 if sr.next is not None:
-                    req = yield from drv.isend(sr.sbuf[sl], sr.next, c * nb + b)
-                    sends.append(req)
+                    # the writer emits one block per task; a unit batch is
+                    # grant-arithmetic-identical to a plain isend but keeps
+                    # the wire injection on the Cluster.send_batch path
+                    reqs = yield from drv.isend_batch(
+                        [sr.sbuf[sl]], sr.next, [c * nb + b])
+                    sends.extend(reqs)
             if sr.is_last and params.compute_data and c == params.chunks - 1:
                 outputs[sr.rank] = sr.sbuf.copy()
             if sends:

@@ -38,6 +38,12 @@ from repro.mpi.requests import Request, RequestState
 from repro.mpi.threading import GlobalLock
 from repro.sim.context import AccumulatingSink, charge_current
 
+#: Route :meth:`MPIRank.isend_batch` wire injection through the vectorized
+#: :meth:`Cluster.send_batch` path. When ``False`` the same messages go out
+#: one :meth:`Cluster.send` at a time with identical per-message departure
+#: delays — the scalar oracle the bit-identity tests toggle against.
+BATCH_WIRE = True
+
 
 class MPIContext:
     """A simulated ``MPI_COMM_WORLD`` over a cluster's placed ranks."""
@@ -146,6 +152,67 @@ class MPIRank:
                     and inj.plan.rendezvous_retry):
                 self._arm_rts_retry(req, dest, tag, nbytes, attempt=0)
         return req
+
+    def isend_batch(self, bufs: Sequence[Optional[np.ndarray]], dest: int,
+                    tags: Sequence[int]) -> List[Request]:
+        """Start ``len(bufs)`` non-blocking eager sends to ``dest`` in one
+        library entry.
+
+        Models a batched injection path: the library lock is acquired once
+        for ``n * mpi.call`` seconds and message *j* departs when its slice
+        of the hold completes, so the grant arithmetic for a single-message
+        batch is bit-identical to :meth:`isend`. The wire side goes through
+        :meth:`Cluster.send_batch` (or the per-message :meth:`Cluster.send`
+        loop when :data:`BATCH_WIRE` is off — same departure delays, same
+        results, which the bit-identity tests assert).
+
+        Any message larger than ``mpi.eager_threshold`` needs the
+        rendezvous handshake, which cannot batch; those calls fall back to
+        a plain per-message :meth:`isend` sequence.
+        """
+        if len(bufs) != len(tags):
+            raise MPIError(
+                f"isend_batch: {len(bufs)} buffers vs {len(tags)} tags")
+        if not bufs:
+            return []
+        self._check_peer(dest)
+        sizes = [buffer_nbytes(b) for b in bufs]
+        if any(nb > self._eager_max for nb in sizes):
+            return [self.isend(b, dest, t) for b, t in zip(bufs, tags)]
+        for tag in tags:
+            validate_tag(tag)
+        n = len(bufs)
+        reqs: List[Request] = []
+        an = self.engine.analysis
+        for buf, tag, nbytes in zip(bufs, tags, sizes):
+            req = Request(self.engine, "send", self.rank, dest, tag, buf,
+                          nbytes)
+            self.stats_isends += 1
+            if an.enabled:
+                an.on_mpi_request(req)
+            reqs.append(req)
+        now = self.engine.now
+        unit = self._c_call
+        grant = self.lock.enter(n * unit, "isend_batch")
+        departs = np.empty(n, dtype=np.float64)
+        msgs: List[Message] = []
+        for j, (buf, tag, nbytes) in enumerate(zip(bufs, tags, sizes)):
+            self.stats_eager += 1
+            # message j leaves the library when its slice of the hold ends
+            departs[j] = (grant.start + (j + 1) * unit) - now
+            payload = None if buf is None else np.array(buf, copy=True)
+            msgs.append(Message(
+                self.rank, dest, "mpi", "eager", nbytes + CONTROL_BYTES,
+                payload, meta={"tag": tag},
+            ))
+        if BATCH_WIRE:
+            local_done = self.cluster.send_batch(msgs, depart_delay=departs)
+        else:
+            local_done = [self.cluster.send(m, depart_delay=float(d))
+                          for m, d in zip(msgs, departs)]
+        for req, done in zip(reqs, local_done):
+            req.complete_at(float(done))
+        return reqs
 
     # -- rendezvous handshake retry (repro.faults) ---------------------
     def _arm_rts_retry(self, req: Request, dest: int, tag: int, nbytes: int,
@@ -548,6 +615,13 @@ class MPIProcDriver:
         req = self.mpi.isend(buf, dest, tag)
         yield from self._realize()
         return req
+
+    def isend_batch(self, bufs, dest: int, tags) -> Generator:
+        """Issue ``len(bufs)`` sends to ``dest`` in one library entry and
+        realize the whole charge once (see :meth:`MPIRank.isend_batch`)."""
+        reqs = self.mpi.isend_batch(bufs, dest, tags)
+        yield from self._realize()
+        return reqs
 
     def irecv(self, buf, source: int, tag: int) -> Generator:
         req = self.mpi.irecv(buf, source, tag)

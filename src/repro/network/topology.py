@@ -5,31 +5,54 @@ in the paper are fat trees with full bisection at the scales used). Each
 node has one NIC modelled as two FIFO :class:`~repro.sim.serial.SerialDevice`
 channels (egress, ingress). A remote message experiences::
 
-    depart  = egress grant (serialization at src NIC)
-    arrive  = depart.end + latency (+ jitter)
-    deliver = ingress grant at dst NIC, FIFO per (src node, dst node)
+    depart      = egress grant (serialization at src NIC)
+    wire_arrive = depart.end + latency (+ jitter), clamped FIFO per
+                  (src_rank, dst_rank) channel
+    deliver     = ingress grant at dst NIC, granted in wire-arrival order
 
 Node-local messages bypass the NIC and use the shared-memory latency and
 copy bandwidth.
 
+The ingress NIC is *receiver-ordered*: the sender only computes the wire
+arrival time and enqueues a timestamped record on the destination node's
+``pending`` heap; a per-node wake event fires at the earliest pending
+arrival and grants the ingress device in global ``(wire_arrive, src_node,
+send#)`` order. That order is a pure function of the record set — it does
+not depend on which engine (or which *shard*, see :mod:`repro.sim.shard`)
+executes the sends — which is what makes sharded runs bit-identical to the
+single-engine path. Records addressed to a node owned by another shard are
+diverted to ``outbox`` and merged into the owner's heap at the next
+conservative-window barrier.
+
 Delivery order is forced to be monotone per (src_rank, dst_rank) even under
 jitter — a strictly stronger guarantee than GASPI's per-(queue, target)
-ordering, and what real fabrics provide per virtual channel.
+ordering, and what real fabrics provide per virtual channel. The clamp is
+applied to ``wire_arrive`` on the sender side, so the receiver-side grant
+scan sees per-channel non-decreasing arrivals.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import Event
 from repro.sim.serial import SerialDevice
 from repro.network.fabric import Fabric
 from repro.network.message import Message
 
 DeliveryHandler = Callable[[Message], None]
+
+_INF = float("inf")
+
+#: A wire record: ``(wire_arrive, src_node, send#, ser, msg, local_done)``.
+#: ``send#`` is the source node's monotone out-counter, so the first three
+#: fields are unique per record and heap comparisons never reach ``msg``.
+WireRecord = Tuple[float, int, int, float, Message, float]
 
 
 @dataclass
@@ -47,14 +70,29 @@ class NetworkStats:
 
 
 class Node:
-    """A compute node: identity plus its NIC serialization state."""
+    """A compute node: identity plus its NIC serialization state.
 
-    __slots__ = ("node_id", "egress", "ingress")
+    ``pending`` holds :data:`WireRecord` tuples not yet granted the ingress
+    device; ``wake_ev``/``wake_time`` track the single scheduled drain wake
+    (at the heap head's arrival time). ``out_cnt`` is this node's monotone
+    *send* counter (stamped into outgoing records as the tiebreaker), and
+    ``transit_time`` is this node's share of the cluster transit-time sum —
+    kept per node so serial and sharded runs accumulate the float total in
+    the same (node-order) sequence.
+    """
+
+    __slots__ = ("node_id", "egress", "ingress", "pending", "wake_ev",
+                 "wake_time", "out_cnt", "transit_time")
 
     def __init__(self, engine: Engine, node_id: int):
         self.node_id = node_id
         self.egress = SerialDevice(engine, f"node{node_id}.egress")
         self.ingress = SerialDevice(engine, f"node{node_id}.ingress")
+        self.pending: List[WireRecord] = []
+        self.wake_ev: Optional[Event] = None
+        self.wake_time: float = _INF
+        self.out_cnt = 0
+        self.transit_time = 0.0
 
 
 class Cluster:
@@ -85,12 +123,28 @@ class Cluster:
         self.engine = engine
         self.fabric = fabric
         self.rng = rng
+        # One jitter stream per *source node*, spawned deterministically
+        # from the seed stream: a node's draws then depend only on its own
+        # send order, which every shard partition reproduces exactly.
+        self._jitter_rngs = None if rng is None else rng.spawn(n_nodes)
         self.nodes: List[Node] = [Node(engine, i) for i in range(n_nodes)]
-        self.stats = NetworkStats()
+        self._stats = NetworkStats()
+        #: conservative-sync lookahead: no wire record can arrive sooner
+        #: than this after its injection (egress + jitter only add to it)
+        self.lookahead = fabric.base_latency(intra=False)
         self._rank_node: Dict[int, int] = {}
         self._endpoints: Dict[Tuple[int, str], DeliveryHandler] = {}
         # last scheduled delivery time per (src_rank, dst_rank): FIFO guard
         self._channel_clock: Dict[Tuple[int, int], float] = {}
+        # last *wire arrival* per (src_rank, dst_rank): sender-side clamp
+        # that keeps the channel FIFO under jitter before records are
+        # enqueued (receiver-side drains then see monotone channels)
+        self._wire_clock: Dict[Tuple[int, int], float] = {}
+        # sharding (configured by repro.sim.shard; None = unsharded, every
+        # node is local and outbox stays empty)
+        self.shard_id = 0
+        self.shard_owner: Optional[List[int]] = None
+        self.outbox: List[WireRecord] = []
         #: installed by repro.faults.FaultInjector.install(); None = perfect
         #: fabric, and send() takes the original zero-overhead path
         self.injector = None
@@ -102,6 +156,69 @@ class Cluster:
         # deterministic counter plus a transient uid->eid map
         self._next_edge_id = 0
         self._edge_ids: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> NetworkStats:
+        """Aggregate transport statistics.
+
+        Counters live in ``_stats``; transit time is accumulated per
+        *destination node* and summed here in node order, so the float
+        total is identical whether one engine or several shards ran the
+        nodes (each node's partial is produced by exactly one shard, in
+        the same per-node accumulation order).
+        """
+        st = self._stats
+        total = st.total_transit_time
+        for nd in self.nodes:
+            total += nd.transit_time
+        return NetworkStats(
+            messages=st.messages,
+            control_messages=st.control_messages,
+            bytes=st.bytes,
+            intra_messages=st.intra_messages,
+            total_transit_time=total,
+        )
+
+    # ------------------------------------------------------------------
+    # sharding (repro.sim.shard)
+    # ------------------------------------------------------------------
+    def configure_sharding(self, shard_owner: List[int], shard_id: int) -> None:
+        """Mark this cluster as one shard of a partitioned run.
+
+        ``shard_owner[node_id]`` names the shard that executes that node's
+        ranks and drains its ingress. Wire records addressed to a foreign
+        node are appended to ``outbox`` instead of the local pending heap;
+        the coordinator ships them to the owner at the next window barrier
+        via :meth:`inject_arrivals`.
+        """
+        if len(shard_owner) != len(self.nodes):
+            raise SimulationError(
+                f"shard_owner has {len(shard_owner)} entries for "
+                f"{len(self.nodes)} nodes"
+            )
+        self.shard_owner = list(shard_owner)
+        self.shard_id = shard_id
+
+    def take_outbox(self) -> List[WireRecord]:
+        """Drain and return the cross-shard records produced so far."""
+        out, self.outbox = self.outbox, []
+        return out
+
+    def inject_arrivals(self, records: List[WireRecord]) -> None:
+        """Merge wire records produced by other shards.
+
+        Records must carry arrival times ``>= engine.now`` (the window
+        protocol guarantees ``>= T_end`` of the window about to run).
+        """
+        for rec in records:
+            dst_node = self.node_of(rec[4].dst_rank)
+            node = self.nodes[dst_node]
+            heappush(node.pending, rec)
+            if rec[0] < node.wake_time:
+                self._arm_wake(node, rec[0])
 
     # ------------------------------------------------------------------
     # placement
@@ -192,70 +309,190 @@ class Cluster:
         if not intra and self.injector is not None and self.injector.active:
             return self._send_faulted(msg, now, src_node, dst_node)
 
-        if intra:
-            copy_time = fab.serialization(msg.nbytes, intra=True)
-            local_done = now + copy_time
-            arrive = local_done + fab.base_latency(intra=True)
-        else:
-            bw_factor = fab.cost(f"{msg.protocol}.bw_factor", 1.0)
-            ser = fab.serialization(msg.nbytes, intra=False) / bw_factor
-            grant = self.nodes[src_node].egress.use(ser, at=now)
-            local_done = grant.end
-            latency = (
-                fab.base_latency(intra=False)
-                + fab.cost(f"{msg.protocol}.lat_extra", 0.0)
-                + self._jitter(msg.protocol)
-            )
-            wire_arrive = grant.end + latency
-            in_grant = self.nodes[dst_node].ingress.use(ser, at=wire_arrive)
-            arrive = in_grant.end
-
-        # FIFO per (src_rank, dst_rank): never deliver before an earlier send.
-        chan = (msg.src_rank, msg.dst_rank)
-        floor = self._channel_clock.get(chan, 0.0)
-        if arrive < floor:
-            arrive = floor
-        self._channel_clock[chan] = arrive
-
-        st = self.stats
+        st = self._stats
         st.messages += 1
         st.bytes += msg.nbytes
         if msg.nbytes <= 64:
             st.control_messages += 1
+
         if intra:
+            copy_time = fab.serialization(msg.nbytes, intra=True)
+            local_done = now + copy_time
+            arrive = local_done + fab.base_latency(intra=True)
+
+            # FIFO per (src_rank, dst_rank): never deliver before an
+            # earlier send.
+            chan = (msg.src_rank, msg.dst_rank)
+            floor = self._channel_clock.get(chan, 0.0)
+            if arrive < floor:
+                arrive = floor
+            self._channel_clock[chan] = arrive
+
             st.intra_messages += 1
-        st.total_transit_time += arrive - now
+            self.nodes[dst_node].transit_time += arrive - now
 
-        tr = eng.tracer
-        if tr.enabled:
-            # one wire span per message: injection -> delivery, with the
-            # serialization boundary (local_done) as a phase marker
-            tr.span("net", f"{msg.protocol}.{msg.kind}", now, arrive,
-                    rank=msg.src_rank, dst=msg.dst_rank, nbytes=msg.nbytes,
-                    intra=intra, local_done=local_done)
+            tr = eng.tracer
+            if tr.enabled:
+                tr.span("net", f"{msg.protocol}.{msg.kind}", now, arrive,
+                        rank=msg.src_rank, dst=msg.dst_rank,
+                        nbytes=msg.nbytes, intra=True,
+                        local_done=local_done)
 
-        ev = eng.event()
-        ev.add_callback(lambda _ev: self._deliver(msg))
-        ev.succeed(delay=arrive - eng.now)
+            ev = eng.event()
+            ev.add_callback(lambda _ev: self._deliver(msg))
+            ev.succeed(delay=arrive - eng.now)
+            return local_done
+
+        # --- inter-node: sender computes the wire arrival, receiver
+        # --- grants the ingress NIC in wire-arrival order at drain time
+        bw_factor = fab.cost(f"{msg.protocol}.bw_factor", 1.0)
+        ser = fab.serialization(msg.nbytes, intra=False) / bw_factor
+        src = self.nodes[src_node]
+        grant = src.egress.use(ser, at=now)
+        local_done = grant.end
+        latency = (
+            fab.base_latency(intra=False)
+            + fab.cost(f"{msg.protocol}.lat_extra", 0.0)
+            + self._jitter(msg.protocol, src_node)
+        )
+        wire_arrive = grant.end + latency
+        # The wire keeps per-(src_rank, dst_rank) FIFO order even under
+        # jitter: a later injection never arrives first.
+        chan = (msg.src_rank, msg.dst_rank)
+        wfloor = self._wire_clock.get(chan, 0.0)
+        if wire_arrive < wfloor:
+            wire_arrive = wfloor
+        self._wire_clock[chan] = wire_arrive
+        cnt = src.out_cnt
+        src.out_cnt = cnt + 1
+        self._enqueue_record(
+            dst_node, (wire_arrive, src_node, cnt, ser, msg, local_done)
+        )
         return local_done
 
-    def send_batch(self, msgs: List[Message],
-                   depart_delay: float = 0.0) -> "np.ndarray":
-        """Inject a batch of messages at the same instant; returns the
-        per-message local-completion times as a float64 array.
+    # ------------------------------------------------------------------
+    # receiver-ordered ingress
+    # ------------------------------------------------------------------
+    def _enqueue_record(self, dst_node: int, rec: WireRecord) -> None:
+        owner = self.shard_owner
+        if owner is not None and owner[dst_node] != self.shard_id:
+            self.outbox.append(rec)
+            return
+        node = self.nodes[dst_node]
+        heappush(node.pending, rec)
+        if rec[0] < node.wake_time:
+            self._arm_wake(node, rec[0])
 
-        Observably identical to ``[self.send(m, depart_delay) for m in
-        msgs]`` — same delivery times/order, stats, and RNG stream (see
-        :mod:`repro.network.batch` for the bit-exactness argument). The
-        vectorized path requires a single (src_rank, dst_rank, protocol)
-        channel and no per-message observers (tracer, analysis pipeline,
-        active fault plan); anything else falls back to the exact
-        per-message loop.
+    def _arm_wake(self, node: Node, w: float) -> None:
+        """(Re)schedule ``node``'s drain wake at arrival time ``w``."""
+        old = node.wake_ev
+        if old is not None:
+            old.cancel()
+        eng = self.engine
+        ev = Event.__new__(Event)
+        ev.engine = eng
+        ev.callbacks = [self._drain_event]
+        ev._triggered = False
+        ev._ok = True
+        ev._value = node
+        ev._scheduled = True
+        ev._defused = False
+        ev._cancelled = False
+        eng.schedule_at(ev, w)
+        node.wake_ev = ev
+        node.wake_time = w
+
+    def _drain_event(self, ev: Event) -> None:
+        self._drain(ev._value)
+
+    def _drain(self, node: Node) -> None:
+        """Grant the ingress NIC to every record that has reached the wire.
+
+        Runs at the pending heap head's exact arrival time and pops
+        strictly ``wire_arrive <= now`` — never further, even though the
+        lookahead bounds future arrivals: draining ahead of the clock
+        would let one shard's grant scan run ahead of records another
+        shard has yet to publish. Popping in heap order makes the global
+        ingress grant sequence ``(wire_arrive, src_node, send#)``-sorted,
+        a pure function of the record set.
+        """
+        eng = self.engine
+        now = eng.now
+        node.wake_ev = None
+        node.wake_time = _INF
+        pending = node.pending
+        ingress = node.ingress
+        clock = self._channel_clock
+        tr = eng.tracer
+        transit = node.transit_time
+        times: List[float] = []
+        events: List[Event] = []
+        new = Event.__new__
+        while pending and pending[0][0] <= now:
+            w, _src, _cnt, ser, msg, local_done = heappop(pending)
+            in_grant = ingress.use(ser, at=w)
+            arrive = in_grant.end
+            # Per-channel delivery floor; a no-op after the sender-side
+            # wire clamp (same-channel grants come out non-decreasing),
+            # kept for the faulted path which shares the clock.
+            chan = (msg.src_rank, msg.dst_rank)
+            floor = clock.get(chan, 0.0)
+            if arrive < floor:
+                arrive = floor
+            clock[chan] = arrive
+            transit += arrive - msg.injected_at
+            if tr.enabled:
+                tr.span("net", f"{msg.protocol}.{msg.kind}",
+                        msg.injected_at, arrive, rank=msg.src_rank,
+                        dst=msg.dst_rank, nbytes=msg.nbytes, intra=False,
+                        local_done=local_done)
+            ev = new(Event)
+            ev.engine = eng
+            ev.callbacks = [self._deliver_event]
+            ev._triggered = False
+            ev._ok = True
+            ev._value = msg
+            ev._scheduled = True
+            ev._defused = False
+            ev._cancelled = False
+            times.append(arrive)
+            events.append(ev)
+        node.transit_time = transit
+        if len(times) == 1:
+            eng.schedule_at(events[0], times[0])
+        elif times:
+            # Ingress grant ends are non-decreasing in drain order, so the
+            # block is already sorted for the timeline lane.
+            eng.schedule_batch(np.asarray(times, dtype=np.float64), events)
+        if pending:
+            self._arm_wake(node, pending[0][0])
+
+    def send_batch(self, msgs: List[Message],
+                   depart_delay=0.0) -> "np.ndarray":
+        """Inject a batch of messages; returns the per-message
+        local-completion times as a float64 array.
+
+        ``depart_delay`` is a scalar applied to every message (the whole
+        batch departs at one instant) or a float64 array of per-message
+        delays — non-decreasing, as produced by back-to-back lock grants.
+
+        Observably identical to ``[self.send(m, d) for m, d in
+        zip(msgs, delays)]`` — same wire records and delivery order,
+        stats, and RNG stream (see :mod:`repro.network.batch` for the
+        bit-exactness argument). The vectorized path requires a single
+        (src_rank, dst_rank, protocol) channel and no per-message
+        observers (tracer, analysis pipeline, active fault plan);
+        anything else falls back to the exact per-message loop.
         """
         from repro.network.batch import batch_eligible, send_batch
 
         if batch_eligible(self, msgs):
             return send_batch(self, msgs, depart_delay)
+        if isinstance(depart_delay, np.ndarray):
+            return np.asarray(
+                [self.send(m, float(d)) for m, d in zip(msgs, depart_delay)],
+                dtype=np.float64,
+            )
         return np.asarray(
             [self.send(m, depart_delay) for m in msgs], dtype=np.float64
         )
@@ -296,7 +533,7 @@ class Cluster:
         NIC keeps its own copy for ack-based retransmission, so drops never
         stall the sender, only the delivery.
         """
-        st = self.stats
+        st = self._stats
         st.messages += 1
         st.bytes += msg.nbytes
         if msg.nbytes <= 64:
@@ -348,7 +585,7 @@ class Cluster:
         latency = (
             fab.base_latency(intra=False)
             + fab.cost(f"{msg.protocol}.lat_extra", 0.0)
-            + self._jitter(msg.protocol)
+            + self._jitter(msg.protocol, src_node)
         )
         latency *= inj.latency_factor(src_node, dst_node, t_wire)
         reordered = fate == "reorder"
@@ -414,7 +651,8 @@ class Cluster:
                 self._trace_fault(msg, "dup_suppressed", self.engine.now, 0)
                 return
             self._dup_seen.add(uid)
-        self.stats.total_transit_time += self.engine.now - msg.injected_at
+        dst_node = self.node_of(msg.dst_rank)
+        self.nodes[dst_node].transit_time += self.engine.now - msg.injected_at
         self._deliver(msg)
 
     def _trace_fault(self, msg: Message, what: str, t: float, attempt: int) -> None:
@@ -425,15 +663,18 @@ class Cluster:
             tr.instant("faults", what, t, rank=msg.src_rank, dst=msg.dst_rank,
                        kind=msg.kind, attempt=attempt)
 
-    def _jitter(self, protocol: str) -> float:
-        if self.rng is None:
+    def _jitter(self, protocol: str, src_node: int) -> float:
+        rngs = self._jitter_rngs
+        if rngs is None:
             return 0.0
         rel = self.fabric.cost(f"{protocol}.jitter", 0.0)
         if rel <= 0.0:
             return 0.0
         # Lognormal noise scaled to the base latency; mean ≈ 0 shift so the
-        # configured latency stays the central value.
+        # configured latency stays the central value. Drawn from the source
+        # node's own spawned stream: the draw sequence then depends only on
+        # that node's send order, which is shard-partition-invariant.
         base = self.fabric.latency
         sigma = rel
-        sample = self.rng.lognormal(mean=0.0, sigma=sigma)
+        sample = rngs[src_node].lognormal(mean=0.0, sigma=sigma)
         return base * (sample - 1.0) if sample > 1.0 else 0.0

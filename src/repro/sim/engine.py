@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import os
 from collections import deque
+import math
 from heapq import heappop, heappush
 from typing import Callable, Iterable, Optional, TYPE_CHECKING
 
@@ -255,10 +256,31 @@ class ObjectEngine:
             and np.isfinite(arr[n - 1])
             and (n < 2 or bool(np.all(np.diff(arr) >= 0.0)))
         ):
-            raise SimulationError(
-                "schedule_batch: times must be finite, non-decreasing and >= now"
-            )
+            raise SimulationError(self._diagnose_batch(arr))
         return arr
+
+    def _diagnose_batch(self, arr: "np.ndarray") -> str:
+        """Name the first offending index of a rejected batch (shard-
+        boundary batches are built far from where they are scheduled, so
+        "times must be ..." alone is undebuggable)."""
+        finite = np.isfinite(arr)
+        if not finite.all():
+            i = int(np.argmin(finite))
+            return (
+                f"schedule_batch: times[{i}]={arr[i]!r} is not finite "
+                f"(batch of {arr.shape[0]})"
+            )
+        if arr[0] < self._now:
+            return (
+                f"schedule_batch: times[0]={arr[0]!r} < now={self._now!r} "
+                f"(batch of {arr.shape[0]})"
+            )
+        decr = np.diff(arr) < 0.0
+        i = int(np.argmax(decr))
+        return (
+            f"schedule_batch: times[{i + 1}]={arr[i + 1]!r} decreases from "
+            f"times[{i}]={arr[i]!r} (batch of {arr.shape[0]})"
+        )
 
     def schedule_batch(self, times, events) -> None:
         """Schedule ``events[i]`` to fire at *absolute* time ``times[i]``
@@ -273,6 +295,11 @@ class ObjectEngine:
         pair in array order.
         """
         arr = self._check_batch(times, events)
+        if arr.shape[0] == 0:
+            # Empty batches are no-ops on both engines: bumping _qgen here
+            # (while BatchedEngine early-returns) would desynchronize the
+            # generation counters the differential oracle compares.
+            return
         # Ascending pushes keep each heappush O(1) amortized (the new
         # entry never sifts past an earlier batch entry).
         self._qgen += 1
@@ -283,6 +310,24 @@ class ObjectEngine:
             seq += 1
             push(heap, (t, PRIORITY_NORMAL, seq, ev))
         self._seq = seq
+
+    def schedule_at(self, event: "Event", t: float,
+                    priority: int = PRIORITY_NORMAL) -> None:
+        """Schedule ``event`` at *absolute* time ``t`` (exactly).
+
+        Unlike ``schedule(event, delay=t - now)``, no ``now + (t - now)``
+        float round-trip happens: the event fires at the bit-exact ``t``
+        the caller computed. The receiver-ordered wire path and the shard
+        coordinator depend on this — the same arrival record must fire at
+        the same float time no matter which engine ("now") schedules it.
+        """
+        # Single comparison rejects past, inf, and NaN times.
+        if not self._now <= t < _INF:
+            raise SimulationError(
+                f"schedule_at: time {t!r} not in [now={self._now!r}, inf)")
+        self._seq += 1
+        self._qgen += 1
+        heappush(self._heap, (t, priority, self._seq, event))
 
     # ------------------------------------------------------------------
     # factories (sugar used throughout the code base)
@@ -406,6 +451,30 @@ class ObjectEngine:
             return self._run_traced(until, max_events, trace_every)
         finally:
             self._running = False
+
+    def run_window(self, until: float,
+                   max_events: Optional[int] = None) -> float:
+        """Fire every event with time *strictly less than* ``until``; the
+        clock never reaches ``until``.
+
+        This is the conservative-window primitive the shard coordinator
+        uses: a worker granted the window ``[lbts, t_end)`` must fire
+        exactly the events below ``t_end`` and must *not* let its clock
+        touch ``t_end`` (arrival records merged at the barrier are
+        scheduled at absolute times ``>= t_end``, which ``schedule_at`` /
+        ``schedule_batch`` validate against ``now``).
+
+        Implemented on top of :meth:`run`: ``run(until=L)`` is inclusive of
+        ``t == L``, so the window runs to ``nextafter(until, -inf)`` — the
+        largest float below ``until`` — making ``t <= L`` equivalent to
+        ``t < until`` exactly. ``now`` lands on that (sub-``until``) limit.
+        """
+        if not until > self._now:
+            return self._now
+        limit = math.nextafter(until, -_INF)
+        if limit < self._now:
+            return self._now
+        return self.run(until=limit, max_events=max_events)
 
     def _run_fast(self, until: Optional[float], max_events: Optional[int]) -> float:
         """The hot loop: inlined dispatch, zero tracer attribute reads.
@@ -1166,19 +1235,38 @@ class BatchedEngine(ObjectEngine):
             self._event_count += fired
 
 
+#: True when ``REPRO_ENGINE=sharded`` — the harness then defaults eligible
+#: jobs to the sharded coordinator (``JobSpec.shards`` still wins when set).
+#: Shard *workers* run plain :class:`BatchedEngine` instances, so the alias
+#: below resolves to :class:`BatchedEngine` under this setting.
+SHARDED_DEFAULT = False
+
+#: Shard count used when ``REPRO_ENGINE=sharded`` selects sharding without
+#: an explicit ``JobSpec(shards=N)``; override with ``REPRO_SHARDS``.
+DEFAULT_SHARDS = max(1, int(os.environ.get("REPRO_SHARDS", "2")))
+
+
 def _default_engine_class():
     """Resolve the :data:`Engine` alias from ``REPRO_ENGINE``.
 
     ``batched`` (the default) selects :class:`BatchedEngine`; ``object``
-    selects the per-event oracle. Read once at import — tests that need
-    both instantiate the classes directly."""
+    selects the per-event oracle; ``sharded`` selects
+    :class:`BatchedEngine` per shard and flips :data:`SHARDED_DEFAULT` so
+    the harness routes eligible jobs through ``repro.sim.shard``. Read
+    once at import — tests that need both instantiate the classes
+    directly."""
+    global SHARDED_DEFAULT
     name = os.environ.get("REPRO_ENGINE", "batched").strip().lower()
     if name in ("", "batched"):
+        return BatchedEngine
+    if name == "sharded":
+        SHARDED_DEFAULT = True
         return BatchedEngine
     if name == "object":
         return ObjectEngine
     raise SimulationError(
-        f"REPRO_ENGINE={name!r} not recognized (expected 'object' or 'batched')"
+        f"REPRO_ENGINE={name!r} not recognized "
+        "(expected 'object', 'batched', or 'sharded')"
     )
 
 

@@ -479,14 +479,47 @@ class TestScheduleBatch:
         assert eng.queue_depth == 0
         assert eng.run() == 0.0
 
+    def test_empty_batch_keeps_qgen_on_both_engines(self):
+        # regression: ObjectEngine used to bump _qgen on empty batches
+        # while BatchedEngine early-returned, desyncing the generation
+        # counters the differential oracle compares
+        from repro.sim.engine import BatchedEngine, ObjectEngine
+
+        for cls in (BatchedEngine, ObjectEngine):
+            eng = cls()
+            gen = eng._qgen
+            eng.schedule_batch([], [])
+            assert eng._qgen == gen, cls.__name__
+            assert eng.queue_depth == 0
+
+    def test_batch_diagnosis_matches_on_both_engines(self):
+        # the indexed error text is part of the cross-engine contract —
+        # shard-boundary batch bugs must read the same under either engine
+        from repro.sim.engine import BatchedEngine, ObjectEngine
+
+        texts = {}
+        for cls in (BatchedEngine, ObjectEngine):
+            eng = cls()
+            evs = self._batch_events(eng, 3, [])
+            with pytest.raises(SimulationError) as exc:
+                eng.schedule_batch([1.0, 3.0, 2.0], evs)
+            texts[cls.__name__] = str(exc.value)
+        assert texts["BatchedEngine"] == texts["ObjectEngine"]
+        assert "times[2]" in texts["BatchedEngine"]
+
     def test_batch_validation(self):
         eng = Engine()
         evs = self._batch_events(eng, 2, [])
         with pytest.raises(SimulationError, match="times for"):
             eng.schedule_batch([1.0], evs)
-        for bad in ([2.0, 1.0], [-1.0, 1.0], [1.0, float("nan")],
-                    [1.0, float("inf")]):
-            with pytest.raises(SimulationError, match="non-decreasing"):
+        # the diagnosis names the offending index and the violated rule
+        for bad, rx in (
+            ([2.0, 1.0], r"times\[1\].*decreases from times\[0\]"),
+            ([-1.0, 1.0], r"times\[0\].*< now"),
+            ([1.0, float("nan")], r"times\[1\].*not finite"),
+            ([1.0, float("inf")], r"times\[1\].*not finite"),
+        ):
+            with pytest.raises(SimulationError, match=rx):
                 eng.schedule_batch(bad, evs)
 
     def test_out_of_order_second_batch_stays_sorted(self):
