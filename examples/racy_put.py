@@ -53,7 +53,8 @@ def racy():
     dst.segment_access(0, 0, N, mode="read")
     # BUG: rank 0 re-sends without waiting for the consumer's ack, so the
     # first payload (and its notification value) can never be observed.
-    src.write_notify(0, 0, 1, 0, 0, N, notif_id=5, notif_val=2, queue=0)
+    src.write_notify(0, 0, 1, 0, 0, N,  # analysis-ok: deliberate slot reuse (demo)
+                     notif_id=5, notif_val=2, queue=0)
     eng.run()
 
     print(analysis.report())

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Seeded protocol bug #2: a blocking GASPI call inside a plain task body.
+
+The paper's core rule (§III): blocking communication must never run
+inside a task — that is what the task-aware TAMPI/TAGASPI wrappers are
+for. In this simulator the blocking entry points are generator-shaped,
+so a plain task body that calls ``notify_waitsome`` silently creates and
+*discards* the generator: nothing blocks, and the task reads its inbox
+while the producer's put is still in flight.
+
+The static verifier's **blocking-in-task** rule flags the call site; the
+dynamic race detector confirms the consequence at runtime with a
+``wr-race`` error finding. The ``correct`` twin consumes the
+notification from the rank's main generator before submitting the
+reading task and stays clean under both checkers.
+
+    python examples/static/blocking_in_task.py
+"""
+
+import numpy as np
+
+from repro.analysis import AnalysisPipeline
+from repro.analysis.static import verify_file
+from repro.gaspi import GaspiContext
+from repro.network import Cluster, INFINIBAND
+from repro.sim import Engine
+from repro.tasking import Out, Runtime, RuntimeConfig
+
+N = 64
+NID = 4
+
+
+def build():
+    eng = Engine()
+    cl = Cluster(eng, 2, INFINIBAND)
+    cl.place_ranks_block(2, 1)
+    g = GaspiContext(cl, n_queues=2)
+    g.rank(0).segment_register(0, np.arange(float(N)))
+    g.rank(1).segment_register(0, np.zeros(N))
+    an = AnalysisPipeline().install(eng)
+    an.attach_cluster(cl)
+    an.attach_gaspi(g)
+    return eng, g, an
+
+
+def broken():
+    """BUG: the consumer task blocks (or rather: silently fails to)."""
+    eng, g, an = build()
+    rt = Runtime(eng, RuntimeConfig(n_cores=2), "rt1")
+    an.attach_runtime(rt)
+    gp1 = g.rank(1)
+
+    def consume_body(task):
+        gp1.notify_waitsome(0, NID, 1)  # discarded generator: no-op
+        gp1.segment_access(0, 0, N, mode="read")
+
+    def main(rt):
+        rt.submit(consume_body, [Out("B")], label="consume")
+        yield from rt.taskwait()
+
+    proc = rt.spawn_main(main)
+    g.rank(0).write_notify(0, 0, 1, 0, 0, N, notif_id=NID, notif_val=1,
+                           queue=0)
+    eng.run()
+    assert proc.triggered
+    return an
+
+
+def correct():
+    """The protocol: consume the notification *before* the reading task."""
+    eng, g, an = build()
+    rt = Runtime(eng, RuntimeConfig(n_cores=2), "rt1")
+    an.attach_runtime(rt)
+    gp1 = g.rank(1)
+
+    def read_body(task):
+        gp1.segment_access(0, 0, N, mode="read")
+
+    def main(rt):
+        yield from gp1.notify_waitsome(0, NID, 1)
+        rt.submit(read_body, [Out("B")], label="read")
+        yield from rt.taskwait()
+
+    proc = rt.spawn_main(main)
+    g.rank(0).write_notify(0, 0, 1, 0, 0, N, notif_id=NID, notif_val=1,
+                           queue=0)
+    eng.run()
+    assert proc.triggered
+    return an
+
+
+def main():
+    # static half: exactly the task-body call is flagged — the same
+    # notify_waitsome in correct()'s main generator is fine
+    flagged = [f for f in verify_file(__file__)
+               if f.rule == "blocking-in-task"]
+    assert len(flagged) == 1, flagged
+    assert "notify_waitsome" in flagged[0].message, flagged[0]
+    print(f"static : blocking-in-task flagged at line {flagged[0].line} "
+          "(consume_body)")
+
+    # dynamic half: the un-blocked read races the in-flight put
+    an = broken()
+    kinds = {f.kind for f in an.findings}
+    assert "wr-race" in kinds, kinds
+    print(f"dynamic: race detector agrees -> {sorted(kinds)}")
+
+    an = correct()
+    assert not an.findings, an.findings
+    print("dynamic: correct twin is clean (0 error findings)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Seeded protocol bug #3: a notification slot re-posted before consume.
+
+GASPI notification slots are single-value mailboxes. ``broken`` posts
+``notif_id=9`` twice with nothing consuming in between, so the second
+``write_notify`` overwrites the first — the receiver can never observe
+payload #1. The static verifier's **notification-slot-reuse** rule flags
+the second post; dynamically the race detector reports
+``lost-notification``/``lost-update`` error findings, and a strict
+pipeline (``JobSpec(check="strict")`` semantics) refuses to finalize.
+The ``correct`` twin consumes the notification before re-posting and
+stays clean.
+
+    python examples/static/slot_reuse.py
+"""
+
+import numpy as np
+
+from repro.analysis import AnalysisError, AnalysisPipeline
+from repro.analysis.static import verify_file
+from repro.gaspi import GaspiContext
+from repro.network import Cluster, INFINIBAND
+from repro.sim import Engine
+
+N = 32
+NID = 9
+
+
+def build(strict=False):
+    eng = Engine()
+    cl = Cluster(eng, 2, INFINIBAND)
+    cl.place_ranks_block(2, 1)
+    g = GaspiContext(cl, n_queues=2)
+    g.rank(0).segment_register(0, np.arange(float(N)))
+    g.rank(1).segment_register(0, np.zeros(N))
+    an = AnalysisPipeline(strict=strict).install(eng)
+    an.attach_cluster(cl)
+    an.attach_gaspi(g)
+    return eng, g, an
+
+
+def broken(strict=False):
+    """BUG: slot 9 re-posted while its first value is still unconsumed.
+
+    The ids are literal on purpose: the static rule only tracks constant
+    slot ids (variable ids are the loop-indexed correct idiom and are
+    left to the dynamic checker).
+    """
+    eng, g, an = build(strict=strict)
+    src = g.rank(0)
+    src.write_notify(0, 0, 1, 0, 0, N, notif_id=9, notif_val=1, queue=0)
+    src.write_notify(0, 0, 1, 0, 0, N, notif_id=9, notif_val=2, queue=0)
+    eng.run()
+    return an
+
+
+def correct():
+    """The paper's discipline: consume the slot before re-posting."""
+    eng, g, an = build()
+    src, dst = g.rank(0), g.rank(1)
+    src.write_notify(0, 0, 1, 0, 0, N, notif_id=NID, notif_val=1, queue=0)
+
+    def consumer():
+        nid, val = yield from dst.notify_waitsome(0, NID, 1)
+        assert (nid, val) == (NID, 1)
+        src.write_notify(0, 0, 1, 0, 0, N, notif_id=NID, notif_val=2,
+                         queue=0)
+        nid, val = yield from dst.notify_waitsome(0, NID, 1)
+        assert (nid, val) == (NID, 2)
+
+    eng.process(consumer())
+    eng.run()
+    return an
+
+
+def main():
+    # static half: exactly the second post in broken() is flagged
+    flagged = [f for f in verify_file(__file__)
+               if f.rule == "notification-slot-reuse"]
+    assert len(flagged) == 1, flagged
+    assert str(NID) in flagged[0].message, flagged[0]
+    print(f"static : notification-slot-reuse flagged at line "
+          f"{flagged[0].line} (broken)")
+
+    # dynamic half: the overwrite is a detected error finding...
+    an = broken()
+    kinds = {f.kind for f in an.findings}
+    assert "lost-notification" in kinds, kinds
+    print(f"dynamic: race detector agrees -> {sorted(kinds)}")
+
+    # ...and a strict pipeline refuses to finalize
+    an = broken(strict=True)
+    try:
+        an.finalize()
+    except AnalysisError as exc:
+        print(f"dynamic: strict finalize raises ({len(exc.findings)} "
+              "error findings)")
+    else:
+        raise AssertionError("strict finalize did not raise")
+
+    an = correct()
+    an.finalize()
+    assert not an.findings, an.findings
+    print("dynamic: correct twin is clean (0 error findings)")
+
+
+if __name__ == "__main__":
+    main()

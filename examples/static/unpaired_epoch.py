@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Seeded protocol bug #4: an RMA epoch opened but not closed on a path.
+
+``access_epoch`` opens a passive epoch with ``lock_all`` and issues a
+put, but only the ``close_epoch`` branch ever calls ``unlock_all`` — on
+the default path the function returns with the epoch open and the put
+un-flushed. The static verifier's **unpaired-epoch** rule flags the
+``lock_all`` (path-sensitively); dynamically, the very next
+``fence(MPI_MODE_NOPRECEDE)`` validates its "no outstanding RMA"
+assertion against the leaked put and raises ``MPIError``
+(``src/repro/mpi/rma.py`` semantics).
+
+    python examples/static/unpaired_epoch.py
+"""
+
+import numpy as np
+
+from repro.analysis.static import verify_file
+from repro.mpi import MPIContext, MPIError, Window
+from repro.mpi.comm import MPIProcDriver
+from repro.mpi.rma import MPI_MODE_NOPRECEDE
+from repro.network import Cluster, OMNIPATH
+from repro.sim import Engine
+
+
+def build():
+    eng = Engine()
+    cl = Cluster(eng, 2, OMNIPATH)
+    cl.place_ranks_block(2, 1)
+    mpi = MPIContext(cl)
+    bufs = {r: np.zeros(8) for r in range(2)}
+    win = Window.create(mpi, bufs)
+    return eng, mpi, win, bufs
+
+
+def access_epoch(win, close_epoch=False):
+    """BUG: the epoch leaks (put un-flushed) unless ``close_epoch``."""
+    win.lock_all(0)
+    win.put(0, np.full(4, 7.0), target=1)
+    if close_epoch:
+        yield from win.unlock_all(0)
+
+
+def run(close_epoch):
+    """Returns the MPIError messages the validation fence raised."""
+    eng, mpi, win, _bufs = build()
+    hits = []
+
+    def origin(drv):
+        yield from access_epoch(win, close_epoch)
+        # probe: step fence(MPI_MODE_NOPRECEDE) once — its "no
+        # outstanding RMA" validation runs before the first yield (the
+        # collective barrier, which a single-rank probe must not enter)
+        probe = win.fence(0, MPI_MODE_NOPRECEDE)  # analysis-ok: probe, not a protocol epoch
+        try:
+            next(probe)
+        except MPIError as exc:
+            hits.append(str(exc))
+        except StopIteration:
+            pass
+        finally:
+            probe.close()
+
+    proc = MPIProcDriver(mpi.rank(0)).spawn(origin)
+    eng.run()
+    assert proc.triggered
+    return hits
+
+
+def main():
+    # static half: the lock_all in access_epoch is flagged (the close on
+    # the other branch does not cover the default path)
+    flagged = [f for f in verify_file(__file__)
+               if f.rule == "unpaired-epoch"]
+    assert len(flagged) == 1, flagged
+    assert "lock_all" in flagged[0].message, flagged[0]
+    print(f"static : unpaired-epoch flagged at line {flagged[0].line} "
+          "(access_epoch)")
+
+    # dynamic half: the runtime catches the lie on the leaky path only
+    hits = run(close_epoch=False)
+    assert hits and "NOPRECEDE" in hits[0], hits
+    print("dynamic: fence(MPI_MODE_NOPRECEDE) raises MPIError on the "
+          "leaked put")
+
+    assert run(close_epoch=True) == []
+    print("dynamic: correct twin is clean (epoch closed, fence happy)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Seeded protocol bug #1: a non-blocking handle dropped on a path.
+
+``leaky_consumer`` posts an ``irecv`` and returns without waiting it on
+the ``early_exit`` path. The static verifier's **unwaited-request** rule
+flags the assignment (path-sensitively: the wait on the other branch
+does not save it), and the dynamic finalize-time resource lint confirms
+the same leak at runtime with an ``unfreed-mpi-request`` warning — the
+differential-validation pair for this rule (docs/analysis.md).
+
+    python examples/static/unwaited_request.py
+"""
+
+import numpy as np
+
+from repro.analysis import AnalysisPipeline
+from repro.analysis.static import verify_file
+from repro.mpi import MPIContext
+from repro.mpi.comm import MPIProcDriver
+from repro.network import Cluster, OMNIPATH
+from repro.sim import Engine
+
+N = 16
+
+
+def build():
+    eng = Engine()
+    cl = Cluster(eng, 2, OMNIPATH)
+    cl.place_ranks_block(2, 1)
+    mpi = MPIContext(cl)
+    an = AnalysisPipeline().install(eng)
+    an.attach_cluster(cl)
+    return eng, mpi, an
+
+
+def leaky_consumer(drv, early_exit=True):
+    """BUG: the irecv handle escapes unwaited when ``early_exit``."""
+    buf = np.zeros(N)
+    req = yield from drv.irecv(buf, 0, tag=3)
+    if early_exit:
+        return  # handle dropped: the flagged path
+    yield from drv.wait(req)
+
+
+def main():
+    # static half: the verifier flags the handle assignment
+    flagged = [f for f in verify_file(__file__)
+               if f.rule == "unwaited-request"]
+    assert len(flagged) == 1, flagged
+    assert "'req'" in flagged[0].message, flagged[0]
+    print(f"static : unwaited-request flagged at line {flagged[0].line} "
+          "(leaky_consumer)")
+
+    # dynamic half: nothing ever matches the irecv, so the finalize-time
+    # resource lint reports the very same leak
+    eng, mpi, an = build()
+    proc = MPIProcDriver(mpi.rank(1)).spawn(leaky_consumer)
+    eng.run()
+    assert proc.triggered
+    an.finalize()
+    kinds = [w.kind for w in an.warnings]
+    assert "unfreed-mpi-request" in kinds, kinds
+    print(f"dynamic: finalize lint agrees -> {sorted(set(kinds))}")
+
+
+if __name__ == "__main__":
+    main()

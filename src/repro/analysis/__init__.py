@@ -10,10 +10,15 @@ Dynamic checkers (zero-cost when disabled, bit-identical when enabled):
   ``JobSpec(check="report"|"strict")`` or the ``check=`` axis of
   :func:`repro.harness.run_variants`.
 
-Static checker:
+Static checkers:
 
 * :func:`lint_paths` — the determinism lint behind
   ``python -m repro.analysis lint src/`` (:mod:`repro.analysis.lint`).
+* :func:`verify_paths` — the CFG/dataflow communication-protocol
+  verifier behind ``python -m repro.analysis verify`` / ``repro-verify``
+  (:mod:`repro.analysis.static`). Each of its rules is the static twin
+  of a dynamic checker; ``examples/static/`` validates them
+  differentially.
 
 This package's import-time dependencies are stdlib-only so the engine can
 import :data:`NULL_ANALYSIS` without cycles; the simulation-aware checkers
@@ -21,6 +26,7 @@ load lazily when a pipeline is constructed.
 """
 
 from repro.analysis.lint import LintFinding, lint_file, lint_paths
+from repro.analysis.static import verify_file, verify_paths
 from repro.analysis.pipeline import (
     NULL_ANALYSIS,
     SEV_ERROR,
@@ -40,4 +46,6 @@ __all__ = [
     "SEV_WARNING",
     "lint_file",
     "lint_paths",
+    "verify_file",
+    "verify_paths",
 ]

@@ -1,35 +1,63 @@
 """``python -m repro.analysis`` — the correctness-analysis command line.
 
-Two subcommands:
+Three subcommands:
 
 * ``lint [paths...]`` — static determinism lint (stdlib-ast, no
   simulation); exits 1 on findings. The CI gate runs
-  ``python -m repro.analysis lint src/``.
+  ``python -m repro.analysis lint src/ examples/ benchmarks/ tests/``.
+* ``verify [paths...]`` — CFG/dataflow protocol verifier
+  (:mod:`repro.analysis.static`); exits 1 on findings. ``--exclude``
+  skips subtrees (CI excludes the seeded-bad ``examples/static/``).
+  Also installed as the ``repro-verify`` console script.
 * ``sweep`` — run the paper variants of Gauss–Seidel and Streaming at
   small parameters with every dynamic checker enabled in strict mode
   (``JobSpec(check="strict")``); exits 1 if any variant produces an
   error-severity finding. The CI gate's dynamic half.
+
+``lint`` and ``verify`` take ``--format json`` to emit findings as a
+JSON array of ``{path, line, col, rule, message}`` objects for CI and
+editor integration; findings are sorted by ``(path, line, col, rule)``
+either way.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from typing import List, Optional
 
-from repro.analysis.lint import lint_paths
+from repro.analysis.lint import LintFinding, lint_paths
 
 
-def _cmd_lint(args) -> int:
-    findings = lint_paths(args.paths)
+def _emit(findings: List[LintFinding], paths: List[str], fmt: str,
+          what: str) -> int:
+    if fmt == "json":
+        print(json.dumps([
+            {"path": f.path, "line": f.line, "col": f.col,
+             "rule": f.rule, "message": f.message}
+            for f in findings], indent=2))
+        return 1 if findings else 0
     for f in findings:
         print(f)
     if findings:
         print(f"{len(findings)} finding(s)")
         return 1
-    print(f"lint clean ({', '.join(args.paths)})")
+    print(f"{what} clean ({', '.join(paths)})")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    return _emit(lint_paths(args.paths), args.paths, args.format, "lint")
+
+
+def _cmd_verify(args) -> int:
+    # imported lazily so plain lint stays a two-module import
+    from repro.analysis.static import verify_paths
+
+    findings = verify_paths(args.paths, exclude=args.exclude)
+    return _emit(findings, args.paths, args.format, "verify")
 
 
 def _cmd_sweep(args) -> int:
@@ -71,14 +99,29 @@ def _cmd_sweep(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="correctness analysis: static determinism lint and "
-                    "strict-checked variant sweep")
+        description="correctness analysis: static determinism lint, "
+                    "CFG/dataflow protocol verifier, and strict-checked "
+                    "variant sweep")
     sub = parser.add_subparsers(dest="cmd", required=True)
 
     p_lint = sub.add_parser("lint", help="static determinism lint")
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories (default: src)")
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_verify = sub.add_parser(
+        "verify", help="CFG/dataflow communication-protocol verifier")
+    p_verify.add_argument("paths", nargs="*", default=["src"],
+                          help="files or directories (default: src)")
+    p_verify.add_argument("--format", choices=("text", "json"),
+                          default="text", help="output format")
+    p_verify.add_argument("--exclude", action="append", default=[],
+                          metavar="PATH",
+                          help="subtree to skip (repeatable; CI excludes "
+                               "the seeded-bad examples/static/)")
+    p_verify.set_defaults(fn=_cmd_verify)
 
     p_sweep = sub.add_parser(
         "sweep", help="run small paper variants with check=strict")
@@ -91,6 +134,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not getattr(args, "paths", True):
         args.paths = ["src"]
     return args.fn(args)
+
+
+def verify_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-verify`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    return main(["verify", *argv])
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -31,10 +31,12 @@ findings. Uses only the stdlib ``ast`` module.
 from __future__ import annotations
 
 import ast
+import io
 import os
+import tokenize
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Set
 
 #: wall-clock reading functions of the ``time`` module
 _TIME_FNS = frozenset({
@@ -52,7 +54,46 @@ RULE_SET_ITER = "set-iteration"
 
 #: path components exempt from the wallclock rule (benchmarks measure
 #: wall time on purpose)
-_WALLCLOCK_EXEMPT_DIRS = frozenset({"bench"})
+_WALLCLOCK_EXEMPT_DIRS = frozenset({"bench", "benchmarks"})
+
+#: suppression marker; must appear in a *comment* on the finding's line
+PRAGMA = "analysis-ok"
+
+
+def pragma_lines(source: str) -> Set[int]:
+    """Line numbers suppressed by ``analysis-ok`` pragma comments.
+
+    A trailing pragma comment suppresses its own line; a standalone
+    pragma comment suppresses the next code line (skipping blank and
+    comment-only lines), so long statements can carry a justification
+    above them. Tokenizing (rather than substring-matching raw lines)
+    means the marker inside a string or f-string does not suppress
+    anything. Falls back to the empty set on tokenization errors — the
+    parse error surfaces as a ``syntax`` finding anyway.
+    """
+    raw = source.splitlines()
+
+    def is_comment_only(idx: int) -> bool:  # idx is 0-based
+        stripped = raw[idx].strip()
+        return not stripped or stripped.startswith("#")
+
+    lines: Set[int] = set()
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT or PRAGMA not in tok.string:
+                continue
+            line, col = tok.start
+            if raw[line - 1][:col].strip():
+                lines.add(line)  # trailing comment: suppress its own line
+            else:
+                nxt = line  # 0-based index of the line after the pragma
+                while nxt < len(raw) and is_comment_only(nxt):
+                    nxt += 1
+                if nxt < len(raw):
+                    lines.add(nxt + 1)
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return set()
+    return lines
 
 
 @dataclass(frozen=True)
@@ -84,16 +125,16 @@ def _is_set_expr(node: ast.AST) -> bool:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, lines: Sequence[str],
+    def __init__(self, path: str, suppressed: Set[int],
                  check_wallclock: bool):
         self.path = path
-        self.lines = lines
+        self.suppressed = suppressed
         self.check_wallclock = check_wallclock
         self.findings: List[LintFinding] = []
 
     def _add(self, node: ast.AST, rule: str, message: str) -> None:
         line = getattr(node, "lineno", 0)
-        if 1 <= line <= len(self.lines) and "analysis-ok" in self.lines[line - 1]:
+        if line in self.suppressed:
             return
         self.findings.append(LintFinding(
             path=self.path, line=line, col=getattr(node, "col_offset", 0),
@@ -160,13 +201,16 @@ def lint_file(path: str) -> List[LintFinding]:
                             message=f"cannot parse: {exc.msg}")]
     parts = set(os.path.normpath(path).split(os.sep))
     check_wallclock = not (parts & _WALLCLOCK_EXEMPT_DIRS)
-    visitor = _Visitor(path, source.splitlines(), check_wallclock)
+    visitor = _Visitor(path, pragma_lines(source), check_wallclock)
     visitor.visit(tree)
+    visitor.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return visitor.findings
 
 
 def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
-    """Lint files and directory trees; deterministic path order."""
+    """Lint files and directory trees; findings sorted by
+    ``(path, line, col, rule)`` so CI diffs are stable across
+    filesystems."""
     files: List[str] = []
     for p in paths:
         if os.path.isdir(p):
@@ -180,4 +224,5 @@ def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
     findings: List[LintFinding] = []
     for f in files:
         findings.extend(lint_file(f))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

@@ -1,0 +1,44 @@
+"""CFG/dataflow static verifier for the communication-protocol discipline.
+
+The paper's contribution is a *discipline* for mixing one-sided and
+non-blocking communication with tasks; :mod:`repro.analysis` enforces it
+dynamically (``check=strict``, finalize-time resource lint) one seed and
+one schedule at a time. This package enforces the same contracts
+*before any run*, mechanically, over every app and example in the tree:
+
+* :mod:`repro.analysis.static.cfg` — per-function control-flow graphs
+  over stdlib ``ast`` statements.
+* :mod:`repro.analysis.static.dataflow` — reaching definitions, use/def
+  extraction, and may-path reachability queries.
+* :mod:`repro.analysis.static.rules` — the pluggable protocol rules
+  (unwaited-request, blocking-in-task, notification-slot-reuse,
+  unpaired-epoch), each the static twin of a dynamic checker.
+* :mod:`repro.analysis.static.verify` — the file/tree driver behind
+  ``python -m repro.analysis verify`` and ``repro-verify``.
+
+Every rule is differentially validated: ``examples/static/`` holds one
+seeded bad program per rule that this verifier flags *and* whose dynamic
+counterpart confirms at runtime, so static findings are never
+unfalsifiable lint noise (see docs/analysis.md).
+"""
+
+from repro.analysis.static.cfg import CFG, build_cfg
+from repro.analysis.static.rules import RULES, Rule, register_rule
+from repro.analysis.static.verify import (
+    FunctionInfo,
+    verify_file,
+    verify_paths,
+    verify_source,
+)
+
+__all__ = [
+    "CFG",
+    "build_cfg",
+    "RULES",
+    "Rule",
+    "register_rule",
+    "FunctionInfo",
+    "verify_file",
+    "verify_paths",
+    "verify_source",
+]

@@ -1,0 +1,277 @@
+"""Statement-level control-flow graphs over stdlib ``ast``.
+
+One :class:`CFG` per function (or module top level). Nodes are the
+function's own statements — a nested ``def``/``class``/``lambda`` is a
+single node whose *uses* over-approximate every name its body reads, so
+a handle captured by a closure counts as used. Compound statements
+contribute one header node carrying only the header expressions (an
+``if`` node uses its test; a ``for`` node uses its iterable and defines
+its target) with the body statements as separate nodes behind it.
+
+Edges model *may* control flow:
+
+* loops get a back edge and a zero-trip exit (except ``while True``,
+  which only exits through ``break``);
+* ``try`` bodies get an edge from every statement to each handler head —
+  exceptions transfer control *after* a statement's own effect, so a
+  definition inside ``try`` may reach a handler with the following
+  statements skipped. A ``raise`` targets the innermost enclosing
+  handlers, or the function exit when there are none. Propagation past a
+  non-matching inner handler is not modelled; this under-approximates
+  exceptional paths, which for the may-path protocol rules trades false
+  positives for (documented) false negatives.
+
+Two virtual node ids bracket the graph: :data:`CFG.ENTRY` and
+:data:`CFG.EXIT`. ``Return`` and uncaught ``Raise`` edge to ``EXIT``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+
+@dataclass
+class Node:
+    """One statement in the graph, with its local name effects."""
+
+    index: int
+    stmt: ast.stmt
+    defs: Set[str] = field(default_factory=set)
+    uses: Set[str] = field(default_factory=set)
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    @property
+    def col(self) -> int:
+        return getattr(self.stmt, "col_offset", 0)
+
+
+class CFG:
+    """Control-flow graph for one function body."""
+
+    ENTRY = -2
+    EXIT = -1
+
+    def __init__(self, nodes: List[Node], succ: Dict[int, Set[int]]):
+        self.nodes = nodes
+        self.succ = succ
+
+    def successors(self, index: int) -> Set[int]:
+        return self.succ.get(index, set())
+
+    def predecessors(self) -> Dict[int, Set[int]]:
+        preds: Dict[int, Set[int]] = {}
+        for src, dsts in self.succ.items():
+            for dst in dsts:
+                preds.setdefault(dst, set()).add(src)
+        return preds
+
+
+def _collect_names(node: ast.AST, uses: Set[str], defs: Set[str]) -> None:
+    """Accumulate loaded/stored names of an expression or simple statement.
+
+    Nested function/lambda/comprehension bodies are walked too: every
+    name they read is a *use* from the enclosing scope's point of view
+    (over-approximate — conservative for the handle-lifecycle rules).
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            if isinstance(sub.ctx, ast.Store):
+                defs.add(sub.id)
+            else:  # Load and Del both observe the binding
+                uses.add(sub.id)
+        elif isinstance(sub, (ast.Attribute, ast.Subscript)):
+            # a store through `x.attr = ...` / `x[i] = ...` reads `x`
+            if isinstance(sub.ctx, (ast.Store, ast.Del)):
+                _collect_names(sub.value, uses, set())
+        elif isinstance(sub, ast.AugAssign) and isinstance(sub.target, ast.Name):
+            uses.add(sub.target.id)  # `x += ...` reads the old binding
+
+
+def _store_names(target: ast.AST, defs: Set[str], uses: Set[str]) -> None:
+    """Names bound by an assignment target (tuples unpacked)."""
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            defs.add(sub.id)
+        elif isinstance(sub, (ast.Attribute, ast.Subscript)):
+            _collect_names(sub.value, uses, set())
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        self.succ: Dict[int, Set[int]] = {}
+        # (loop-head id, list collecting break-node ids) per nesting level
+        self._loops: List[Tuple[int, List[int]]] = []
+        # handler-head ids of the innermost enclosing `try` body
+        self._handlers: List[List[int]] = []
+
+    # ------------------------------------------------------------------
+    def edge(self, src: int, dst: int) -> None:
+        self.succ.setdefault(src, set()).add(dst)
+
+    def new_node(self, stmt: ast.stmt, uses: Set[str], defs: Set[str],
+                 preds: Sequence[int]) -> int:
+        node = Node(len(self.nodes), stmt, defs, uses)
+        self.nodes.append(node)
+        for p in preds:
+            self.edge(p, node.index)
+        if self._handlers:
+            for head in self._handlers[-1]:
+                self.edge(node.index, head)
+        return node.index
+
+    # ------------------------------------------------------------------
+    def process_block(self, stmts: Sequence[ast.stmt],
+                      preds: List[int]) -> List[int]:
+        for stmt in stmts:
+            preds = self.process_stmt(stmt, preds)
+        return preds
+
+    def process_stmt(self, stmt: ast.stmt, preds: List[int]) -> List[int]:
+        if isinstance(stmt, ast.If):
+            uses: Set[str] = set()
+            _collect_names(stmt.test, uses, set())
+            n = self.new_node(stmt, uses, set(), preds)
+            body_out = self.process_block(stmt.body, [n])
+            else_out = (self.process_block(stmt.orelse, [n])
+                        if stmt.orelse else [n])
+            return body_out + else_out
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            uses, defs = set(), set()
+            if isinstance(stmt, ast.While):
+                _collect_names(stmt.test, uses, set())
+                zero_trip = not (isinstance(stmt.test, ast.Constant)
+                                 and bool(stmt.test.value))
+            else:
+                _collect_names(stmt.iter, uses, set())
+                _store_names(stmt.target, defs, uses)
+                zero_trip = True
+            n = self.new_node(stmt, uses, defs, preds)
+            breaks: List[int] = []
+            self._loops.append((n, breaks))
+            body_out = self.process_block(stmt.body, [n])
+            self._loops.pop()
+            for b in body_out:
+                self.edge(b, n)
+            outs = list(breaks)
+            if zero_trip:
+                if stmt.orelse:
+                    outs += self.process_block(stmt.orelse, [n])
+                else:
+                    outs.append(n)
+            return outs
+
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            heads: List[int] = []
+            for handler in stmt.handlers:
+                h_uses: Set[str] = set()
+                if handler.type is not None:
+                    _collect_names(handler.type, h_uses, set())
+                h_defs = {handler.name} if handler.name else set()
+                heads.append(self.new_node(handler, h_uses, h_defs, []))
+            self._handlers.append(heads)
+            body_out = self.process_block(stmt.body, preds)
+            self._handlers.pop()
+            if stmt.orelse:
+                body_out = self.process_block(stmt.orelse, body_out)
+            handler_out: List[int] = []
+            for handler, head in zip(stmt.handlers, heads):
+                handler_out += self.process_block(handler.body, [head])
+            outs = body_out + handler_out
+            if stmt.finalbody:
+                outs = self.process_block(stmt.finalbody, outs)
+            return outs
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            uses, defs = set(), set()
+            for item in stmt.items:
+                _collect_names(item.context_expr, uses, set())
+                if item.optional_vars is not None:
+                    _store_names(item.optional_vars, defs, uses)
+            n = self.new_node(stmt, uses, defs, preds)
+            return self.process_block(stmt.body, [n])
+
+        if isinstance(stmt, ast.Return):
+            uses = set()
+            if stmt.value is not None:
+                _collect_names(stmt.value, uses, set())
+            n = self.new_node(stmt, uses, set(), preds)
+            self.edge(n, CFG.EXIT)
+            return []
+
+        if isinstance(stmt, ast.Raise):
+            uses = set()
+            _collect_names(stmt, uses, set())
+            n = self.new_node(stmt, uses, set(), preds)
+            if self._handlers:
+                for head in self._handlers[-1]:
+                    self.edge(n, head)
+            else:
+                self.edge(n, CFG.EXIT)
+            return []
+
+        if isinstance(stmt, ast.Break):
+            n = self.new_node(stmt, set(), set(), preds)
+            if self._loops:
+                self._loops[-1][1].append(n)
+            return []
+
+        if isinstance(stmt, ast.Continue):
+            n = self.new_node(stmt, set(), set(), preds)
+            if self._loops:
+                self.edge(n, self._loops[-1][0])
+            return []
+
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # one opaque node: defines its name, uses every name its body
+            # reads (a closure capture of a handle counts as a use)
+            uses, defs = set(), {stmt.name}
+            _collect_names(stmt, uses, set())
+            uses.discard(stmt.name)
+            n = self.new_node(stmt, uses, defs, preds)
+            return [n]
+
+        if isinstance(stmt, getattr(ast, "Match", ())):
+            uses, defs = set(), set()
+            _collect_names(stmt.subject, uses, set())
+            wildcard = False
+            for case in stmt.cases:
+                for sub in ast.walk(case.pattern):
+                    if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                        defs.add(sub.id)
+                if (isinstance(case.pattern, ast.MatchAs)
+                        and case.pattern.pattern is None
+                        and case.guard is None):
+                    wildcard = True
+            n = self.new_node(stmt, uses, defs, preds)
+            outs: List[int] = []
+            for case in stmt.cases:
+                outs += self.process_block(case.body, [n])
+            if not wildcard:
+                outs.append(n)
+            return outs
+
+        # simple statement: Expr, Assign, AugAssign, AnnAssign, Assert,
+        # Pass, Import, Delete, Global, Nonlocal, ...
+        uses, defs = set(), set()
+        _collect_names(stmt, uses, defs)
+        n = self.new_node(stmt, uses, defs, preds)
+        return [n]
+
+
+def build_cfg(body: Sequence[ast.stmt]) -> CFG:
+    """Build the CFG of one function (or module) statement list."""
+    builder = _Builder()
+    frontier = builder.process_block(body, [CFG.ENTRY])
+    for f in frontier:
+        builder.edge(f, CFG.EXIT)
+    if not builder.succ.get(CFG.ENTRY) and not builder.nodes:
+        builder.edge(CFG.ENTRY, CFG.EXIT)
+    return CFG(builder.nodes, builder.succ)

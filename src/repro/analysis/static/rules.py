@@ -1,0 +1,435 @@
+"""Protocol rules over per-function CFGs — each the static twin of a
+dynamic checker in :mod:`repro.analysis`.
+
+A rule inspects one :class:`~repro.analysis.static.verify.FunctionInfo`
+and yields raw findings. Register new rules with
+:func:`register_rule`; ``verify`` runs every registered rule.
+
+The four shipped rules and their runtime counterparts:
+
+===================  ==================================================
+rule                 dynamic twin
+===================  ==================================================
+unwaited-request     finalize resource lint ``unfreed-mpi-request``
+blocking-in-task     task completes without blocking (generator
+                     silently discarded) → stale data / wr-race
+notification-slot    ``check=strict`` ``lost-notification`` /
+-reuse               ``lost-update`` findings
+unpaired-epoch       ``Window.fence(MPI_MODE_NOPRECEDE)`` raising
+                     ``MPIError`` on outstanding RMA
+===================  ==================================================
+
+All rules are may-path analyses: they flag when *some* CFG path exhibits
+the violation. They are deliberately conservative about what counts as a
+discharge — any read of a handle name (including closure capture and
+container escape) counts as a use, and notification posts with
+non-constant slot ids are skipped — so the shipped tree verifies clean
+without drowning real bugs in noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.static.cfg import CFG
+from repro.analysis.static.dataflow import may_reach
+
+#: raw finding: (line, col, rule, message)
+RawFinding = Tuple[int, int, str, str]
+
+RULE_UNWAITED = "unwaited-request"
+RULE_BLOCKING_IN_TASK = "blocking-in-task"
+RULE_SLOT_REUSE = "notification-slot-reuse"
+RULE_UNPAIRED_EPOCH = "unpaired-epoch"
+
+#: methods returning a non-blocking handle the caller must discharge
+_INITIATORS = frozenset({"isend", "irecv", "isend_batch", "iget"})
+#: generator-shaped blocking entry points; calling one in a plain task
+#: body silently creates and discards the generator (nothing blocks)
+_BLOCKING = frozenset({
+    "wait", "waitall", "waitsome", "waitany", "request_wait",
+    "notify_waitsome", "barrier", "taskwait", "fence",
+    "flush", "flush_all", "flush_outstanding", "unlock_all",
+    "run_until_complete",
+})
+#: receivers whose calls are task-aware (bind pending events to the
+#: calling task; the runtime waits them) — exempt everywhere
+_TASK_AWARE = frozenset({"tampi", "tagaspi"})
+#: notification-posting methods and the positional index of their
+#: ``notif_id`` / ``dest`` / ``remote_seg`` arguments
+_NOTIF_POSTS = {"write_notify": (6, 2, 3), "notify": (2, 0, 1)}
+#: methods that consume (or globally quiesce) notification slots
+_NOTIF_CONSUMERS = frozenset({
+    "notify_waitsome", "notify_iwait", "notify_test", "notify_reset",
+    "_wait_notify", "barrier", "_barrier", "ec_fence",
+})
+#: methods closing a passive (lock_all) epoch
+_LOCK_CLOSERS = frozenset({"unlock_all"})
+#: methods closing an active (fence) epoch
+_FENCE_CLOSERS = frozenset({"fence", "unlock_all", "close", "_close"})
+
+
+RULES: Dict[str, "Rule"] = {}
+
+
+def register_rule(cls):
+    """Class decorator adding a rule to the global registry."""
+    RULES[cls.name] = cls()
+    return cls
+
+
+class Rule:
+    """Base class: subclass, set ``name``, implement :meth:`run`."""
+
+    name = ""
+    description = ""
+
+    def run(self, fn) -> Iterator[RawFinding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# call-shape helpers
+# ----------------------------------------------------------------------
+def call_method(call: ast.Call) -> str:
+    """Method name of a call (``a.b.c(...)`` → ``"c"``, ``f()`` → ``"f"``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def receiver_parts(call: ast.Call) -> Tuple[str, ...]:
+    """Dotted receiver chain of a method call (``self.mpi.isend(...)`` →
+    ``("self", "mpi")``); empty for plain-name calls or computed bases."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return ()
+    parts: List[str] = []
+    node = func.value
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    parts.reverse()
+    return tuple(parts)
+
+
+def _unwrap_effect(expr: ast.expr) -> ast.expr:
+    """Strip ``yield from`` / ``await`` wrappers: the result of the inner
+    call is what the wrapper evaluates to."""
+    while isinstance(expr, (ast.YieldFrom, ast.Await)):
+        expr = expr.value
+    return expr
+
+
+def _stmt_exprs(stmt: ast.AST) -> List[ast.AST]:
+    """Expression roots a CFG node *itself* evaluates.
+
+    A compound statement's node carries only its header (an ``if`` node
+    its test, a ``with`` node its context expressions) — the body
+    statements are separate CFG nodes, so walking the whole subtree here
+    would double-count every call. Nested defs contribute only their
+    decorators and default expressions.
+    """
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        roots: List[ast.AST] = list(stmt.decorator_list)
+        args = getattr(stmt, "args", None)
+        if args is not None:
+            roots += args.defaults
+            roots += [d for d in args.kw_defaults if d is not None]
+        if isinstance(stmt, ast.ClassDef):
+            roots += stmt.bases + [kw.value for kw in stmt.keywords]
+        return roots
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+        return []
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, getattr(ast, "Match", ())):
+        return [stmt.subject]
+    return [stmt]
+
+
+def _iter_calls(stmt: ast.AST) -> Iterator[ast.Call]:
+    """Every call a CFG node itself evaluates (see :func:`_stmt_exprs`).
+
+    Nested function/class/lambda bodies are excluded: a nested def is
+    analysed as its own function, and a lambda body runs later, not at
+    this node.
+    """
+    skip_bodies = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                   ast.Lambda)
+    stack: List[ast.AST] = _stmt_exprs(stmt)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, skip_bodies):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _arg(call: ast.Call, keyword: str, pos: int) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if pos < len(call.args) and not any(
+            isinstance(a, ast.Starred) for a in call.args[:pos + 1]):
+        return call.args[pos]
+    return None
+
+
+def _is_task_aware(parts: Tuple[str, ...]) -> bool:
+    return any(p in _TASK_AWARE for p in parts)
+
+
+# ----------------------------------------------------------------------
+# rule 1: unwaited-request
+# ----------------------------------------------------------------------
+@register_rule
+class UnwaitedRequest(Rule):
+    """A non-blocking handle may reach function exit (or be overwritten)
+    without any use on some path.
+
+    Any read of the handle name discharges it: an explicit
+    ``wait``/``test``, an ``append`` into a list that is waited later, a
+    closure capture, a return. The dynamic twin is the finalize resource
+    lint's ``unfreed-mpi-request`` warning.
+    """
+
+    name = RULE_UNWAITED
+    description = ("non-blocking handle (isend/irecv/iget) dropped on "
+                   "some path before any wait/test/use")
+
+    def run(self, fn) -> Iterator[RawFinding]:
+        cfg: CFG = fn.cfg
+        for node in cfg.nodes:
+            stmt = node.stmt
+            target: Optional[str] = None
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                target, value = stmt.targets[0].id, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) \
+                    and stmt.value is not None:
+                target, value = stmt.target.id, stmt.value
+            elif isinstance(stmt, ast.Expr):
+                value = stmt.value
+                if isinstance(value, (ast.Yield,)):
+                    continue  # `yield call()` hands the result to a waiter
+            else:
+                continue
+            call = _unwrap_effect(value) if value is not None else None
+            if not isinstance(call, ast.Call):
+                continue
+            method = call_method(call)
+            if method not in _INITIATORS:
+                continue
+            parts = receiver_parts(call)
+            if not parts or _is_task_aware(parts):
+                continue
+            chain = ".".join(parts)
+            if target is None:
+                yield (node.line, node.col, self.name,
+                       f"result of {chain}.{method}() is discarded; the "
+                       "handle can never be waited (dynamic twin: "
+                       "unfreed-mpi-request at finalize)")
+                continue
+            uses = {n.index for n in cfg.nodes if target in n.uses}
+            redefs = {n.index for n in cfg.nodes
+                      if target in n.defs and target not in n.uses}
+            targets = redefs | {CFG.EXIT}
+            if may_reach(cfg, cfg.successors(node.index), targets, uses):
+                yield (node.line, node.col, self.name,
+                       f"handle '{target}' from {chain}.{method}() may "
+                       "reach function exit or be overwritten without a "
+                       "wait/test/use on some path (dynamic twin: "
+                       "unfreed-mpi-request at finalize)")
+
+
+# ----------------------------------------------------------------------
+# rule 2: blocking-in-task
+# ----------------------------------------------------------------------
+@register_rule
+class BlockingInTask(Rule):
+    """A blocking MPI/GASPI call lexically inside a task body.
+
+    The paper's core rule: blocking inside a task stalls (or, in this
+    simulator, silently no-ops — the blocking entry points are
+    generators, so a plain task body creates and discards one) the
+    worker; use the TAMPI/TAGASPI task-aware wrappers instead.
+    """
+
+    name = RULE_BLOCKING_IN_TASK
+    description = ("blocking MPI/GASPI call inside a task body without "
+                   "the TAMPI/TAGASPI wrapper")
+
+    def run(self, fn) -> Iterator[RawFinding]:
+        if not fn.is_task_body:
+            return
+        for node in fn.cfg.nodes:
+            for call in _iter_calls(node.stmt):
+                method = call_method(call)
+                if method not in _BLOCKING:
+                    continue
+                parts = receiver_parts(call)
+                if not parts or _is_task_aware(parts) or parts[-1] == "task":
+                    continue
+                chain = ".".join(parts)
+                yield (call.lineno, call.col_offset, self.name,
+                       f"blocking {chain}.{method}() inside task body "
+                       f"'{fn.qualname}': the call is generator-shaped, "
+                       "so a plain task body silently discards it — use "
+                       "the TAMPI/TAGASPI task-aware wrapper (paper "
+                       "§III/§V discipline)")
+
+
+# ----------------------------------------------------------------------
+# rule 3: notification-slot-reuse
+# ----------------------------------------------------------------------
+@register_rule
+class NotificationSlotReuse(Rule):
+    """The same constant notification id posted twice with no consuming
+    call on some path in between.
+
+    GASPI notification slots are single-value mailboxes: a second
+    ``write_notify``/``notify`` to the same ``(receiver, dest, segment,
+    id)`` before the first is consumed overwrites the value — the
+    dynamic race detector reports it as ``lost-notification`` /
+    ``lost-update`` under ``check=strict``. Posts whose id is not a
+    literal constant are skipped (loop-indexed slots are the common
+    correct idiom and need the dynamic checker).
+    """
+
+    name = RULE_SLOT_REUSE
+    description = ("constant notification id re-posted with no "
+                   "notify_waitsome/consume on a path in between")
+
+    def run(self, fn) -> Iterator[RawFinding]:
+        cfg: CFG = fn.cfg
+        posts: Dict[Tuple[str, str, str, object],
+                    List[Tuple[int, ast.Call]]] = {}
+        consumers: Set[int] = set()
+        for node in cfg.nodes:
+            for call in _iter_calls(node.stmt):
+                method = call_method(call)
+                if method in _NOTIF_CONSUMERS:
+                    consumers.add(node.index)
+                    continue
+                if method not in _NOTIF_POSTS:
+                    continue
+                id_pos, dest_pos, seg_pos = _NOTIF_POSTS[method]
+                nid = _arg(call, "notif_id", id_pos)
+                if not isinstance(nid, ast.Constant):
+                    continue
+                dest = _arg(call, "dest", dest_pos)
+                seg = _arg(call, "remote_seg", seg_pos)
+                key = (".".join(receiver_parts(call)),
+                       ast.unparse(dest) if dest is not None else "",
+                       ast.unparse(seg) if seg is not None else "",
+                       nid.value)
+                posts.setdefault(key, []).append((node.index, call))
+        flagged: Set[Tuple[int, int]] = set()
+        for key, sites in posts.items():
+            for a_idx, _a_call in sites:
+                for b_idx, b_call in sites:
+                    pos = (b_call.lineno, b_call.col_offset)
+                    if pos in flagged:
+                        continue
+                    # a == b covers the re-post-in-a-loop cycle
+                    if may_reach(cfg, cfg.successors(a_idx), {b_idx},
+                                 consumers):
+                        flagged.add(pos)
+                        yield (b_call.lineno, b_call.col_offset, self.name,
+                               f"notification id {key[3]!r} re-posted to "
+                               f"segment '{key[2]}' of dest '{key[1]}' "
+                               "with no consuming notify_waitsome on a "
+                               "path since the previous post (dynamic "
+                               "twin: lost-notification under "
+                               "check=strict)")
+
+
+# ----------------------------------------------------------------------
+# rule 4: unpaired-epoch
+# ----------------------------------------------------------------------
+def _fence_opens(call: ast.Call) -> bool:
+    """A fence call opening an epoch: carries MPI_MODE_NOPRECEDE."""
+    for sub in ast.walk(call):
+        if isinstance(sub, ast.Name) and "NOPRECEDE" in sub.id:
+            return True
+        if isinstance(sub, ast.Attribute) and "NOPRECEDE" in sub.attr:
+            return True
+    return False
+
+
+@register_rule
+class UnpairedEpoch(Rule):
+    """An RMA epoch opened (``lock_all`` or ``fence(MPI_MODE_NOPRECEDE)``)
+    with a path to function exit crossing no matching close.
+
+    ``src/repro/mpi/rma.py`` semantics: a passive epoch closes with
+    ``unlock_all``; an active exposure epoch closes with the next
+    ``fence``. A helper receiver that merely *wraps* the close
+    (``self._close()``) matches when its receiver chain is a prefix of
+    the opener's. The dynamic twin: the next
+    ``fence(MPI_MODE_NOPRECEDE)`` validates its assertion and raises
+    ``MPIError`` when RMA is still outstanding.
+    """
+
+    name = RULE_UNPAIRED_EPOCH
+    description = ("RMA lock_all/fence(NOPRECEDE) epoch open without a "
+                   "matching close on some path")
+
+    def run(self, fn) -> Iterator[RawFinding]:
+        cfg: CFG = fn.cfg
+        openings: List[Tuple[int, ast.Call, Tuple[str, ...], str]] = []
+        closers: List[Tuple[int, Tuple[str, ...], str]] = []
+        for node in cfg.nodes:
+            for call in _iter_calls(node.stmt):
+                method = call_method(call)
+                parts = receiver_parts(call)
+                if method == "lock_all":
+                    openings.append((node.index, call, parts, "lock"))
+                elif method == "fence" and _fence_opens(call):
+                    openings.append((node.index, call, parts, "fence"))
+                if method in _FENCE_CLOSERS or method in _LOCK_CLOSERS:
+                    closers.append((node.index, parts, method))
+        for o_idx, call, o_parts, kind in openings:
+            wanted = _LOCK_CLOSERS if kind == "lock" else _FENCE_CLOSERS
+            blocked: Set[int] = set()
+            for c_idx, c_parts, c_method in closers:
+                if c_method not in wanted:
+                    continue
+                same = c_parts == o_parts
+                wrapper = (c_method in ("close", "_close")
+                           and o_parts[:len(c_parts)] == c_parts)
+                if same or wrapper:
+                    blocked.add(c_idx)
+            if may_reach(cfg, cfg.successors(o_idx), {CFG.EXIT}, blocked):
+                chain = ".".join(o_parts)
+                opener = ("lock_all" if kind == "lock"
+                          else "fence(MPI_MODE_NOPRECEDE)")
+                closer = ("unlock_all" if kind == "lock" else "fence")
+                yield (call.lineno, call.col_offset, self.name,
+                       f"epoch opened by {chain}.{opener} may reach "
+                       f"function exit without a matching {closer} on "
+                       "some path (dynamic twin: the next "
+                       "fence(MPI_MODE_NOPRECEDE) raises MPIError on "
+                       "outstanding RMA)")
+
+
+def iter_rules() -> Iterable[Rule]:
+    """Registered rules in deterministic (name) order."""
+    return [RULES[name] for name in sorted(RULES)]

@@ -89,6 +89,8 @@ def mpi_only_main(job: Job, params: GSParams, st: RankStorage):
             # to the same neighbour at the same instant, so the injection
             # rides the vectorized Cluster.send_batch wire path
             row = st.first_row()
+            # analysis-ok: consumed at t==0, and timesteps >= 1 is
+            # validated (GSParams), so the zero-trip path cannot happen
             init_sends = yield from drv.isend_batch(
                 [row[j * bs : (j + 1) * bs] for j in range(nbj)],
                 up,

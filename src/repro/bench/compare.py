@@ -36,10 +36,11 @@ DEFAULT_THRESHOLD = 0.15
 #: the nic batch-vs-scalar ratio swings with numpy dispatch overhead on
 #: the small quick-mode batches, the shard benchmark times forked
 #: worker processes with the same load/core-count sensitivity as sweep,
-#: and the gs/analysis suites wall-time one full app run end to end
+#: and the gs/analysis/verify suites wall-time one full pass end to end
 #: (a single sample, so scheduler jitter lands on it undamped)
 SUITE_THRESHOLDS = {"sweep": 0.30, "engine": 0.25, "nic": 0.35,
-                    "shard": 0.35, "gs": 0.25, "analysis": 0.25}
+                    "shard": 0.35, "gs": 0.25, "analysis": 0.25,
+                    "verify": 0.25}
 
 
 def threshold_for(name: str, override: Optional[float] = None) -> float:

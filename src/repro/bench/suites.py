@@ -590,6 +590,13 @@ def bench_analysis(quick: bool = False) -> dict:
     lint_wall = time.perf_counter() - t0
     assert not lint_findings, "\n".join(str(f) for f in lint_findings)
 
+    from repro.analysis.static import verify_paths
+
+    t0 = time.perf_counter()
+    verify_findings = verify_paths(["src"])
+    verify_wall = time.perf_counter() - t0
+    assert not verify_findings, "\n".join(str(f) for f in verify_findings)
+
     return {
         "name": "analysis",
         "unit": "events/s",
@@ -612,6 +619,64 @@ def bench_analysis(quick: bool = False) -> dict:
         "per_checker_overhead": {k: v / wall_off
                                  for k, v in per_checker.items()},
         "lint_wall_s": lint_wall,
+        "verify_wall_s": verify_wall,
+        "quick": quick,
+    }
+
+
+# ----------------------------------------------------------------------
+# static verifier
+# ----------------------------------------------------------------------
+@_register
+def bench_verify(quick: bool = False) -> dict:
+    """Cost of the CFG/dataflow protocol verifier on the shipped tree.
+
+    Times ``verify_paths`` over the same trees the CI gate checks
+    (``src examples benchmarks tests``, minus the seeded bad examples),
+    min-of-``reps``, and separately over ``src/`` alone so the number is
+    comparable with ``bench_analysis``'s ``lint_wall_s``. Asserts the
+    acceptance contract on the fly: the gated trees are clean and every
+    seeded example under ``examples/static/`` is flagged by its rule.
+    ``throughput`` (gate) is files verified per second on the full gated
+    sweep."""
+    from repro.analysis.static import verify_paths
+    from repro.analysis.static.verify import iter_py_files
+
+    gate_paths = ["src", "examples", "benchmarks", "tests"]
+    exclude = ["examples/static"]
+    reps = 2 if quick else 5
+
+    n_files = len(iter_py_files(gate_paths)) - len(iter_py_files(exclude))
+
+    def run_gate(_):
+        fs = verify_paths(gate_paths, exclude=exclude)
+        assert not fs, "\n".join(str(f) for f in fs)
+
+    def run_src(_):
+        fs = verify_paths(["src"])
+        assert not fs, "\n".join(str(f) for f in fs)
+
+    wall_gate = _best_of(reps, lambda: None, run_gate)
+    wall_src = _best_of(reps, lambda: None, run_src)
+
+    seeded = verify_paths(["examples/static"])
+    seeded_rules = sorted({f.rule for f in seeded})
+    assert seeded_rules == ["blocking-in-task", "notification-slot-reuse",
+                            "unpaired-epoch", "unwaited-request"], seeded
+
+    return {
+        "name": "verify",
+        "unit": "files/s",
+        "paths": gate_paths,
+        "exclude": exclude,
+        "n_files": n_files,
+        "n_rules": 4,
+        "wall_gate_s": wall_gate,
+        "wall_src_s": wall_src,
+        "wall_s": wall_gate,
+        "throughput": n_files / wall_gate,
+        "seeded_findings": len(seeded),
+        "seeded_rules": seeded_rules,
         "quick": quick,
     }
 

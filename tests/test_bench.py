@@ -16,7 +16,7 @@ pytestmark = pytest.mark.bench
 
 def test_quick_suite_emits_all_artifacts(tmp_path):
     assert main(["--quick", "--outdir", str(tmp_path)]) == 0
-    for name in ("engine", "matching", "nic", "gs", "analysis"):
+    for name in ("engine", "matching", "nic", "gs", "analysis", "verify"):
         path = tmp_path / f"BENCH_{name}.json"
         assert path.exists(), f"missing {path}"
         payload = json.loads(path.read_text())
@@ -28,7 +28,8 @@ def test_quick_suite_emits_all_artifacts(tmp_path):
 
 
 def test_bench_names_cover_required_artifacts():
-    assert {"engine", "matching", "nic", "gs", "analysis"} <= set(bench_names())
+    assert {"engine", "matching", "nic", "gs", "analysis",
+            "verify"} <= set(bench_names())
 
 
 def test_analysis_bench_asserts_bit_identity(tmp_path):
@@ -38,6 +39,7 @@ def test_analysis_bench_asserts_bit_identity(tmp_path):
     payload = json.loads((tmp_path / "BENCH_analysis.json").read_text())
     assert payload["overhead_report"] > 0
     assert payload["lint_wall_s"] > 0
+    assert payload["verify_wall_s"] > 0
     assert payload["sim_time_s"] > 0
 
 

@@ -185,7 +185,7 @@ class TestRmaEpochSemantics:
 
         def body(drv):
             with pytest.raises(MPIError, match="no_locks"):
-                yield from win.lock_all(0)
+                yield from win.lock_all(0)  # analysis-ok: raises, no epoch opens
 
         job.run([job.drivers[0].spawn(body)])
 

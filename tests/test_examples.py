@@ -16,6 +16,12 @@ EXAMPLES = [
     "examples/deadlock_cycle.py",
     "examples/perf_diagnosis.py",
     "examples/cg_collectives.py",
+    # seeded protocol bugs: each asserts the static verifier flags it AND
+    # the dynamic checker confirms at runtime (docs/analysis.md)
+    "examples/static/unwaited_request.py",
+    "examples/static/blocking_in_task.py",
+    "examples/static/slot_reuse.py",
+    "examples/static/unpaired_epoch.py",
 ]
 
 

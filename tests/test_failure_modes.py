@@ -72,6 +72,7 @@ class TestJobFailures:
                 # head-to-head: both ranks recv first, then (never) send
                 req = yield from drv.irecv(buf, peer, tag=1)
                 yield from drv.wait(req)
+                # analysis-ok: never reached (both ranks deadlock above)
                 yield from drv.isend(np.ones(4), peer, tag=1)
             return stuck
 
